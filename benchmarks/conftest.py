@@ -1,0 +1,31 @@
+"""Benchmark configuration and shared helpers.
+
+Every benchmark regenerates one of the paper's figures at a laptop-friendly
+scale and prints the rows/series the paper reports.  Set ``REPRO_SCALE`` (a
+float, default 1.0) to scale flow counts and switch resources up toward the
+paper's testbed sizes; the default keeps the whole suite in the minutes range.
+"""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+#: Global knob: 1.0 = laptop scale (default), larger values approach the paper.
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an experiment size by REPRO_SCALE."""
+    return max(minimum, int(value * SCALE))
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print one figure's data as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,66 @@
+"""Figure 8: measurement attention vs. the ratio of victim flows (DCTCP).
+
+Paper protocol: 50K flows, victim ratio swept from 2.5 % to 25 %.  With few
+victims everything is monitored in the healthy state; as the ratio grows the
+HL encoders expand and eventually the system transitions to the ill state.
+"""
+
+import pytest
+
+from conftest import print_table, scaled
+from repro.experiments.attention import sweep_victim_ratio
+
+NUM_FLOWS = scaled(1600, minimum=200)
+VICTIM_RATIOS = (0.025, 0.05, 0.10, 0.175, 0.25)
+SCALE = 0.05
+
+
+def run_sweep():
+    return sweep_victim_ratio(
+        workload="DCTCP",
+        victim_ratios=VICTIM_RATIOS,
+        num_flows=NUM_FLOWS,
+        loss_rate=0.05,
+        scale=SCALE,
+        max_epochs=6,
+        seed=8,
+    )
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_attention_vs_victim_ratio(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = [
+        [
+            f"{point.victim_ratio * 100:.1f}%",
+            point.level,
+            round(point.memory_division["hh"], 2),
+            round(point.memory_division["hl"], 2),
+            round(point.memory_division["ll"], 2),
+            point.decoded_flows["hh"],
+            point.decoded_flows["hl"],
+            point.decoded_flows["ll"],
+            point.threshold_high,
+            point.threshold_low,
+            round(point.sample_rate, 3),
+            round(point.load_factor, 2),
+        ]
+        for point in sweep.points
+    ]
+    print_table(
+        "Figure 8: attention vs. victim-flow ratio (DCTCP)",
+        ["victims", "state", "HHE", "HLE", "LLE", "#HH", "#HL", "#LL",
+         "T_h", "T_l", "sample", "load"],
+        table,
+    )
+
+    first, last = sweep.points[0], sweep.points[-1]
+    assert first.level == "healthy"
+    # More victims -> more memory for packet-loss tasks (HL + LL share grows).
+    first_loss_share = first.memory_division["hl"] + first.memory_division["ll"]
+    last_loss_share = last.memory_division["hl"] + last.memory_division["ll"]
+    assert last_loss_share >= first_loss_share
+    # At the highest ratios the system either went ill or dedicated most of
+    # the downstream capacity to HLs.
+    assert last.level == "ill" or last_loss_share > 0.3

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Loss-detection baselines: FermatSketch vs. FlowRadar vs. LossRadar.
+
+Reproduces the spirit of Figures 4-6 as a runnable script: on the same
+workload, find how much memory each scheme needs before its decoding always
+succeeds, and time the decoding.  FermatSketch's memory tracks the number of
+*victim flows*, FlowRadar's tracks the number of *flows*, and LossRadar's
+tracks the number of *lost packets*.
+
+Run:  python examples/loss_baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import compare_schemes
+from repro.traffic import generate_caida_like_trace
+
+SCENARIOS = [
+    ("few victims, low loss", dict(num_flows=4000, victim_flows=100, loss_rate=0.01)),
+    ("many victims, low loss", dict(num_flows=4000, victim_flows=1000, loss_rate=0.01)),
+    ("few victims, heavy loss", dict(num_flows=4000, victim_flows=100, loss_rate=0.30)),
+    ("many flows", dict(num_flows=16000, victim_flows=100, loss_rate=0.01)),
+]
+
+
+def main() -> None:
+    header = f"{'scenario':<24} {'scheme':<10} {'memory (KB)':>12} {'decode (ms)':>12} {'victims found':>14}"
+    print(header)
+    print("-" * len(header))
+    for label, params in SCENARIOS:
+        trace = generate_caida_like_trace(victim_selection="largest", seed=42, **params)
+        results = compare_schemes(trace, trials=2, seed=42)
+        for scheme in ("fermat", "lossradar", "flowradar"):
+            measurement = results[scheme]
+            print(
+                f"{label:<24} {scheme:<10} {measurement.memory_bytes / 1000:>12.1f} "
+                f"{measurement.decode_milliseconds:>12.2f} "
+                f"{len(measurement.detected_losses):>14d}"
+            )
+        print()
+
+    print("Reading the table: FermatSketch's memory follows the victim-flow count,")
+    print("LossRadar's follows the lost-packet count, and FlowRadar's follows the")
+    print("total flow count — so FermatSketch wins whenever victims are a small")
+    print("fraction of the traffic, which is the common case the paper targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""ChameleMon (SIGCOMM 2023) reproduction.
+
+A pure-Python implementation of ChameleMon — a network measurement system that
+supports packet-loss tasks and packet-accumulation tasks simultaneously and
+shifts measurement attention between them as the network state changes — plus
+every substrate the paper's evaluation depends on: FermatSketch, TowerSketch,
+the baseline sketches (FlowRadar, LossRadar, CM, CU, CountHeap, UnivMon,
+ElasticSketch, FCM, HashPipe, CocoSketch, MRAC), a fat-tree network simulator,
+and the paper's workload generators.
+
+Quickstart::
+
+    from repro import ChameleMon, SwitchResources, generate_workload
+
+    system = ChameleMon(resources=SwitchResources.scaled(0.1))
+    trace = generate_workload("DCTCP", num_flows=2000, victim_ratio=0.1,
+                              num_hosts=system.num_hosts)
+    result = system.run_epoch(trace)
+    print(result.loss_accuracy(), result.memory_division())
+"""
+
+from .controlplane import CentralController, EpochReport, NetworkLevel
+from .core import ChameleMon, EpochResult
+from .core.tower_fermat import TowerFermat
+from .dataplane import (
+    EdgeSwitch,
+    EncoderLayout,
+    FlowHierarchy,
+    MonitoringConfig,
+    SwitchResources,
+)
+from .network import FatTreeTopology, NetworkSimulator, build_testbed_simulator
+from .sketches import (
+    CountMinSketch,
+    CUSketch,
+    FermatSketch,
+    FlowRadar,
+    LossRadar,
+    TowerSketch,
+)
+from .traffic import FlowKey, Trace, generate_caida_like_trace, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CentralController",
+    "ChameleMon",
+    "CountMinSketch",
+    "CUSketch",
+    "EdgeSwitch",
+    "EncoderLayout",
+    "EpochReport",
+    "EpochResult",
+    "FatTreeTopology",
+    "FermatSketch",
+    "FlowHierarchy",
+    "FlowKey",
+    "FlowRadar",
+    "LossRadar",
+    "MonitoringConfig",
+    "NetworkLevel",
+    "NetworkSimulator",
+    "SwitchResources",
+    "TowerFermat",
+    "TowerSketch",
+    "Trace",
+    "build_testbed_simulator",
+    "generate_caida_like_trace",
+    "generate_workload",
+    "__version__",
+]

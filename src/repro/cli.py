@@ -1,0 +1,311 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage (after installation, or with ``PYTHONPATH=src``)::
+
+    python -m repro.cli list
+    python -m repro.cli fig4 --flows 1000 --victims 200 400 600
+    python -m repro.cli fig7 --flows 400 800 1600 --scale 0.05
+    python -m repro.cli fig11 --memory-kb 50 100 150
+    python -m repro.cli demo
+
+Every sub-command prints the same rows/series as the corresponding benchmark
+in ``benchmarks/`` but lets the sizes be chosen from the command line, which
+is convenient for scaling a single experiment up toward the paper's testbed
+sizes without re-running the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Sequence
+
+
+def _print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [
+        max(len(str(header)), max((len(row[i]) for row in rows), default=0))
+        for i, header in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name, description in sorted(COMMANDS.items()):
+        print(f"{name:<12} {description[1]}")
+    return 0
+
+
+def cmd_loss_sweep(args: argparse.Namespace) -> int:
+    from .experiments.loss_detection import compare_schemes
+    from .traffic.generator import generate_caida_like_trace
+
+    rows = []
+    for victims in args.victims:
+        trace = generate_caida_like_trace(
+            num_flows=args.flows,
+            victim_flows=min(victims, args.flows),
+            loss_rate=args.loss_rate,
+            victim_selection="largest",
+            seed=args.seed,
+        )
+        results = compare_schemes(trace, trials=args.trials, seed=args.seed)
+        rows.append(
+            [
+                victims,
+                f"{results['fermat'].memory_bytes / 1000:.1f}",
+                f"{results['lossradar'].memory_bytes / 1000:.1f}",
+                f"{results['flowradar'].memory_bytes / 1000:.1f}",
+                f"{results['fermat'].decode_milliseconds:.2f}",
+                f"{results['lossradar'].decode_milliseconds:.2f}",
+                f"{results['flowradar'].decode_milliseconds:.2f}",
+            ]
+        )
+    _print_table(
+        f"Loss detection overhead ({args.flows} flows, loss rate {args.loss_rate})",
+        ["victims", "fermat KB", "lossradar KB", "flowradar KB",
+         "fermat ms", "lossradar ms", "flowradar ms"],
+        rows,
+    )
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from .experiments.attention import sweep_num_flows
+
+    sweep = sweep_num_flows(
+        workload=args.workload,
+        flow_counts=args.flows,
+        victim_ratio=args.victim_ratio,
+        loss_rate=args.loss_rate,
+        scale=args.scale,
+        max_epochs=args.max_epochs,
+        seed=args.seed,
+    )
+    _print_table(
+        f"Attention vs. # flows ({args.workload})",
+        ["flows", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample", "load", "loss F1"],
+        [
+            [p.num_flows, p.level, f"{p.memory_division['hh']:.2f}",
+             f"{p.memory_division['hl']:.2f}", f"{p.memory_division['ll']:.2f}",
+             p.threshold_high, p.threshold_low, f"{p.sample_rate:.2f}",
+             f"{p.load_factor:.2f}", f"{p.loss_f1:.2f}"]
+            for p in sweep.points
+        ],
+    )
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from .experiments.attention import sweep_victim_ratio
+
+    sweep = sweep_victim_ratio(
+        workload=args.workload,
+        victim_ratios=args.ratios,
+        num_flows=args.flows,
+        loss_rate=args.loss_rate,
+        scale=args.scale,
+        max_epochs=args.max_epochs,
+        seed=args.seed,
+    )
+    _print_table(
+        f"Attention vs. victim ratio ({args.workload}, {args.flows} flows)",
+        ["victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample", "load", "loss F1"],
+        [
+            [f"{p.victim_ratio:.1%}", p.level, f"{p.memory_division['hh']:.2f}",
+             f"{p.memory_division['hl']:.2f}", f"{p.memory_division['ll']:.2f}",
+             p.threshold_high, p.threshold_low, f"{p.sample_rate:.2f}",
+             f"{p.load_factor:.2f}", f"{p.loss_f1:.2f}"]
+            for p in sweep.points
+        ],
+    )
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    from .experiments.attention import run_timeline
+
+    schedule = [(flows, ratio) for flows, ratio in zip(args.flows, args.ratios)]
+    timeline = run_timeline(
+        workload=args.workload,
+        schedule=schedule,
+        epochs_per_stage=args.epochs_per_stage,
+        loss_rate=args.loss_rate,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    _print_table(
+        f"Attention timeline ({args.workload})",
+        ["epoch", "flows", "victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample"],
+        [
+            [e.epoch, e.num_flows, f"{e.victim_ratio:.0%}", e.level,
+             f"{e.memory_division['hh']:.2f}", f"{e.memory_division['hl']:.2f}",
+             f"{e.memory_division['ll']:.2f}", e.threshold_high, e.threshold_low,
+             f"{e.sample_rate:.2f}"]
+            for e in timeline.epochs
+        ],
+    )
+    print("epochs to shift per state change:", timeline.shift_epochs)
+    return 0
+
+
+def cmd_fig11(args: argparse.Namespace) -> int:
+    from .experiments.accumulation import evaluate_tasks
+    from .traffic.generator import generate_caida_like_trace
+
+    first = generate_caida_like_trace(num_flows=args.flows, seed=args.seed)
+    second = generate_caida_like_trace(num_flows=args.flows, seed=args.seed + 1)
+    for memory_kb in args.memory_kb:
+        result = evaluate_tasks(first, second, memory_bytes=memory_kb * 1000, seed=args.seed)
+        for metric, values in result.as_dict().items():
+            if not values:
+                continue
+            _print_table(
+                f"{metric} at {memory_kb} KB",
+                ["algorithm", "value"],
+                [[name, f"{value:.4f}"] for name, value in sorted(values.items())],
+            )
+    return 0
+
+
+def cmd_overheads(args: argparse.Namespace) -> int:
+    from .controlplane.timing import CollectionModel, response_time_ms
+    from .dataplane.config import SwitchResources
+
+    resources = SwitchResources()
+    model = CollectionModel(resources)
+    _print_table(
+        "Collection bandwidth vs. epoch length",
+        ["epoch ms", "Mbps"],
+        [[epoch, f"{model.bandwidth_mbps(epoch):.1f}"] for epoch in args.epochs_ms],
+    )
+    _print_table(
+        "Modelled controller response time",
+        ["HH candidates/switch", "HLs", "response ms"],
+        [
+            [hh, hh, f"{response_time_ms(hh, hh):.2f}"]
+            for hh in (1000, 2000, 4000, 7000)
+        ],
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .core import ChameleMon
+    from .dataplane.config import SwitchResources
+    from .traffic.generator import generate_workload
+
+    system = ChameleMon(resources=SwitchResources.scaled(args.scale), seed=args.seed)
+    for epoch in range(args.epochs):
+        trace = generate_workload(
+            args.workload,
+            num_flows=args.flows[0] if args.flows else 1000,
+            victim_ratio=args.victim_ratio,
+            loss_rate=args.loss_rate,
+            num_hosts=system.num_hosts,
+            seed=args.seed + epoch,
+        )
+        result = system.run_epoch(trace)
+        accuracy = result.loss_accuracy()
+        print(
+            f"epoch {epoch}: {result.level.value:<8} {result.config.describe()} "
+            f"loss F1 {accuracy['f1']:.2f}"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+COMMANDS = {
+    "list": (cmd_list, "list available sub-commands"),
+    "fig4": (cmd_loss_sweep, "loss-detection overhead vs. number of victim flows"),
+    "fig7": (cmd_fig7, "attention vs. number of flows"),
+    "fig8": (cmd_fig8, "attention vs. victim-flow ratio"),
+    "fig9": (cmd_fig9, "attention timeline over changing network state"),
+    "fig11": (cmd_fig11, "the six packet-accumulation tasks"),
+    "overheads": (cmd_overheads, "control-loop bandwidth and response-time model"),
+    "demo": (cmd_demo, "run the full system for a few epochs and print its state"),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--loss-rate", type=float, default=0.05)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="switch-resource scale relative to the testbed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("list", help=COMMANDS["list"][1])
+    sub.set_defaults(handler=cmd_list)
+
+    sub = subparsers.add_parser("fig4", help=COMMANDS["fig4"][1])
+    _add_common(sub)
+    sub.add_argument("--flows", type=int, default=1000)
+    sub.add_argument("--victims", type=int, nargs="+", default=[200, 400, 600, 800, 1000])
+    sub.add_argument("--trials", type=int, default=2)
+    sub.set_defaults(handler=cmd_loss_sweep, loss_rate=0.01)
+
+    sub = subparsers.add_parser("fig7", help=COMMANDS["fig7"][1])
+    _add_common(sub)
+    sub.add_argument("--workload", default="DCTCP")
+    sub.add_argument("--flows", type=int, nargs="+", default=[400, 800, 1600, 2400])
+    sub.add_argument("--victim-ratio", type=float, default=0.10)
+    sub.add_argument("--max-epochs", type=int, default=6)
+    sub.set_defaults(handler=cmd_fig7)
+
+    sub = subparsers.add_parser("fig8", help=COMMANDS["fig8"][1])
+    _add_common(sub)
+    sub.add_argument("--workload", default="DCTCP")
+    sub.add_argument("--flows", type=int, default=1600)
+    sub.add_argument("--ratios", type=float, nargs="+", default=[0.025, 0.05, 0.1, 0.2])
+    sub.add_argument("--max-epochs", type=int, default=6)
+    sub.set_defaults(handler=cmd_fig8)
+
+    sub = subparsers.add_parser("fig9", help=COMMANDS["fig9"][1])
+    _add_common(sub)
+    sub.add_argument("--workload", default="DCTCP")
+    sub.add_argument("--flows", type=int, nargs="+", default=[400, 1600, 2400, 1600, 400])
+    sub.add_argument("--ratios", type=float, nargs="+", default=[0.05, 0.1, 0.25, 0.1, 0.05])
+    sub.add_argument("--epochs-per-stage", type=int, default=3)
+    sub.set_defaults(handler=cmd_fig9)
+
+    sub = subparsers.add_parser("fig11", help=COMMANDS["fig11"][1])
+    _add_common(sub)
+    sub.add_argument("--flows", type=int, default=4000)
+    sub.add_argument("--memory-kb", type=int, nargs="+", default=[50, 100, 150])
+    sub.set_defaults(handler=cmd_fig11)
+
+    sub = subparsers.add_parser("overheads", help=COMMANDS["overheads"][1])
+    sub.add_argument("--epochs-ms", type=int, nargs="+", default=[50, 100, 200, 400, 1000])
+    sub.set_defaults(handler=cmd_overheads)
+
+    sub = subparsers.add_parser("demo", help=COMMANDS["demo"][1])
+    _add_common(sub)
+    sub.add_argument("--workload", default="DCTCP")
+    sub.add_argument("--flows", type=int, nargs="+", default=[1000])
+    sub.add_argument("--victim-ratio", type=float, default=0.1)
+    sub.add_argument("--epochs", type=int, default=5)
+    sub.set_defaults(handler=cmd_demo)
+
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

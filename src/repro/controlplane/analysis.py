@@ -1,0 +1,177 @@
+"""Network-wide analysis of collected sketches (paper section 4.2).
+
+Every epoch the central controller collects, from each edge switch, the flow
+classifier, the upstream flow encoder (HH + HL + LL parts), and the downstream
+flow encoder (HL + LL parts).  This module implements the analysis pipeline:
+
+1. decode each switch's upstream HH encoder into its HH Flowset;
+2. add up the HL (and LL) encoders of all switches, upstream and downstream
+   separately, re-insert the HH Flowsets into the cumulative upstream HL
+   encoder, and subtract downstream from upstream;
+3. decode the delta HL/LL encoders to obtain the victim flows and their loss
+   counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..dataplane.switch import SketchGroup
+from ..sketches.base import DecodeResult
+from ..sketches.fermat import FermatSketch
+from ..sketches.linear_counting import estimate_flows_per_bucket_array
+
+SwitchId = object
+
+
+@dataclass
+class HHDecode:
+    """Per-switch result of decoding the upstream HH encoder."""
+
+    flowset: Dict[int, int]
+    success: bool
+    num_candidates: int
+
+
+@dataclass
+class LossReport:
+    """Outcome of network-wide packet-loss detection for one epoch."""
+
+    heavy_losses: Dict[int, int] = field(default_factory=dict)
+    light_losses: Dict[int, int] = field(default_factory=dict)
+    hh_decodes: Dict[SwitchId, HHDecode] = field(default_factory=dict)
+    hl_decode_success: bool = False
+    ll_decode_success: bool = True
+    hl_flow_count_estimate: float = 0.0
+    ll_flow_count_estimate: float = 0.0
+    analysis_completed: bool = False
+
+    def all_losses(self) -> Dict[int, int]:
+        """Every reported victim flow with its estimated lost packets.
+
+        A flow present in both Flowsets gets the sum of its sizes, as the
+        paper prescribes.
+        """
+        combined = dict(self.heavy_losses)
+        for flow_id, count in self.light_losses.items():
+            combined[flow_id] = combined.get(flow_id, 0) + count
+        return combined
+
+    def num_heavy_losses(self) -> int:
+        return len(self.heavy_losses)
+
+    def num_light_losses(self) -> int:
+        return len(self.light_losses)
+
+
+def decode_hh_encoders(groups: Mapping[SwitchId, SketchGroup]) -> Dict[SwitchId, HHDecode]:
+    """Decode every switch's upstream HH encoder into its HH Flowset."""
+    results: Dict[SwitchId, HHDecode] = {}
+    for switch_id, group in groups.items():
+        hh = group.upstream.parts.hh
+        if hh is None:
+            results[switch_id] = HHDecode(flowset={}, success=True, num_candidates=0)
+            continue
+        decoded = hh.decode_nondestructive()
+        flows = decoded.positive_flows()
+        results[switch_id] = HHDecode(
+            flowset=flows, success=decoded.success, num_candidates=len(flows)
+        )
+    return results
+
+
+def _accumulate(
+    groups: Mapping[SwitchId, SketchGroup], side: str, part_name: str
+) -> Optional[FermatSketch]:
+    """Sum one named encoder part over all switches (``None`` if unallocated)."""
+    total: Optional[FermatSketch] = None
+    for group in groups.values():
+        encoder = getattr(group, side)
+        part = encoder.parts.part(part_name)
+        if part is None:
+            continue
+        if total is None:
+            total = part.copy()
+        else:
+            total.add(part)
+    return total
+
+
+def compute_delta_encoders(
+    groups: Mapping[SwitchId, SketchGroup],
+    hh_decodes: Mapping[SwitchId, HHDecode],
+) -> Tuple[Optional[FermatSketch], Optional[FermatSketch]]:
+    """Build the delta HL and delta LL encoders for the whole network.
+
+    The HH Flowset of every switch is re-inserted into the cumulative upstream
+    HL encoder first (HH candidates' packets are encoded into the *downstream*
+    HL encoder at the egress, so they must be matched on the upstream side).
+    """
+    upstream_hl = _accumulate(groups, "upstream", "hl")
+    downstream_hl = _accumulate(groups, "downstream", "hl")
+    upstream_ll = _accumulate(groups, "upstream", "ll")
+    downstream_ll = _accumulate(groups, "downstream", "ll")
+
+    delta_hl: Optional[FermatSketch] = None
+    if upstream_hl is not None and downstream_hl is not None:
+        delta_hl = upstream_hl  # already a copy
+        for decode in hh_decodes.values():
+            for flow_id, size in decode.flowset.items():
+                delta_hl.insert(flow_id, size)
+        delta_hl.subtract(downstream_hl)
+    delta_ll: Optional[FermatSketch] = None
+    if upstream_ll is not None and downstream_ll is not None:
+        delta_ll = upstream_ll
+        delta_ll.subtract(downstream_ll)
+    return delta_hl, delta_ll
+
+
+def packet_loss_detection(groups: Mapping[SwitchId, SketchGroup]) -> LossReport:
+    """Full packet-loss analysis for one epoch (section 4.2, first task)."""
+    report = LossReport()
+    report.hh_decodes = decode_hh_encoders(groups)
+
+    if not all(decode.success for decode in report.hh_decodes.values()):
+        # The controller stops here: the delta HL encoder cannot be built
+        # without re-inserting the (unknown) HH candidates.
+        report.analysis_completed = False
+        return report
+
+    delta_hl, delta_ll = compute_delta_encoders(groups, report.hh_decodes)
+
+    if delta_hl is not None:
+        hl_result: DecodeResult = delta_hl.copy().decode()
+        report.hl_decode_success = hl_result.success
+        if hl_result.success:
+            report.heavy_losses = hl_result.positive_flows()
+            report.hl_flow_count_estimate = float(len(report.heavy_losses))
+        else:
+            counts = [delta_hl.bucket(0, j)[0] for j in range(delta_hl.buckets_per_array)]
+            report.hl_flow_count_estimate = estimate_flows_per_bucket_array(counts)
+    else:
+        report.hl_decode_success = False
+
+    if delta_ll is not None:
+        ll_result = delta_ll.copy().decode()
+        report.ll_decode_success = ll_result.success
+        if ll_result.success:
+            decoded_ll = ll_result.positive_flows()
+            report.light_losses = {
+                flow_id: count
+                for flow_id, count in decoded_ll.items()
+                if flow_id not in report.heavy_losses
+            }
+            # Flows present in both flowsets contribute both parts of their loss.
+            for flow_id, count in decoded_ll.items():
+                if flow_id in report.heavy_losses:
+                    report.heavy_losses[flow_id] += count
+            report.ll_flow_count_estimate = float(len(decoded_ll))
+        else:
+            counts = [delta_ll.bucket(0, j)[0] for j in range(delta_ll.buckets_per_array)]
+            report.ll_flow_count_estimate = estimate_flows_per_bucket_array(counts)
+    else:
+        report.ll_decode_success = True  # nothing to decode (no LL encoder allocated)
+
+    report.analysis_completed = True
+    return report

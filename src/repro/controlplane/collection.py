@@ -1,0 +1,148 @@
+"""Collection from the data plane: epochs, timestamps, and clock synchronisation.
+
+Appendix B of the paper describes how the controller collects sketches without
+colliding with packet insertion: each edge switch flips a 1-bit timestamp to
+divide the timeline into epochs, keeps two groups of sketches (one per
+timestamp value), and the controller — whose own 1-bit clock is NTP-synchronised
+with every switch — collects the group that monitored the epoch that just
+ended, after waiting long enough for in-flight packets to drain and for the
+clock-synchronisation error to pass.
+
+The simulator is epoch-synchronous, so this module is not needed for
+correctness there; it exists so that the collection *protocol* itself (when is
+it safe to read which group, how much slack the epoch needs) can be modelled,
+tested, and fed into the Figure 20–22 timing analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EpochClock:
+    """A 1-bit flipping timestamp driven by a local clock.
+
+    ``offset_ms`` models the clock error of this node relative to the
+    controller (NTP on the testbed keeps it within 0.3–0.5 ms).
+    """
+
+    epoch_length_ms: float = 50.0
+    offset_ms: float = 0.0
+
+    def timestamp_at(self, controller_time_ms: float) -> int:
+        """The 1-bit timestamp value this node observes at controller time t."""
+        local_time = controller_time_ms + self.offset_ms
+        if local_time < 0:
+            local_time = 0.0
+        return int(local_time // self.epoch_length_ms) & 1
+
+    def epoch_index_at(self, controller_time_ms: float) -> int:
+        local_time = max(0.0, controller_time_ms + self.offset_ms)
+        return int(local_time // self.epoch_length_ms)
+
+    def next_flip_after(self, controller_time_ms: float) -> float:
+        """Controller time of this node's next timestamp flip."""
+        local_time = max(0.0, controller_time_ms + self.offset_ms)
+        next_boundary = (int(local_time // self.epoch_length_ms) + 1) * self.epoch_length_ms
+        return next_boundary - self.offset_ms
+
+
+@dataclass
+class CollectionWindow:
+    """When the controller may safely collect each sketch group of one epoch."""
+
+    epoch_index: int
+    ingress_start_ms: float
+    egress_start_ms: float
+    end_ms: float
+
+    def is_valid(self) -> bool:
+        return self.ingress_start_ms <= self.egress_start_ms <= self.end_ms
+
+
+@dataclass
+class CollectionScheduler:
+    """Plans when sketches of a finished epoch can be collected.
+
+    Parameters follow appendix B: the controller waits ``sync_guard_ms``
+    (longer than the clock-synchronisation error) before touching anything,
+    can then read the *ingress* sketches (classifier + upstream encoder), must
+    wait ``drain_ms`` (longer than the maximum in-network transmission time)
+    before reading the *egress* sketches, and must finish ``sync_guard_ms``
+    before the next flip of its own clock.
+    """
+
+    epoch_length_ms: float = 50.0
+    sync_guard_ms: float = 1.0
+    drain_ms: float = 10.0
+    switch_offsets_ms: Tuple[float, ...] = (0.0, 0.0, 0.0, 0.0)
+
+    def controller_clock(self) -> EpochClock:
+        return EpochClock(self.epoch_length_ms, 0.0)
+
+    def switch_clocks(self) -> List[EpochClock]:
+        return [EpochClock(self.epoch_length_ms, offset) for offset in self.switch_offsets_ms]
+
+    def max_clock_error_ms(self) -> float:
+        return max((abs(offset) for offset in self.switch_offsets_ms), default=0.0)
+
+    def window_for_epoch(self, epoch_index: int) -> CollectionWindow:
+        """The safe collection window for the epoch that ends at ``(i+1)*L``."""
+        epoch_end = (epoch_index + 1) * self.epoch_length_ms
+        ingress_start = epoch_end + self.sync_guard_ms
+        egress_start = max(ingress_start, epoch_end + self.drain_ms)
+        window_end = epoch_end + self.epoch_length_ms - self.sync_guard_ms
+        return CollectionWindow(
+            epoch_index=epoch_index,
+            ingress_start_ms=ingress_start,
+            egress_start_ms=egress_start,
+            end_ms=window_end,
+        )
+
+    def is_feasible(self, collection_time_ms: float) -> bool:
+        """Can the collection itself fit inside the safe window?"""
+        window = self.window_for_epoch(0)
+        if not window.is_valid():
+            return False
+        available = window.end_ms - window.egress_start_ms
+        return (
+            collection_time_ms <= available
+            and self.sync_guard_ms > self.max_clock_error_ms()
+        )
+
+    def minimum_epoch_length_ms(self, collection_time_ms: float) -> float:
+        """Smallest epoch length for which collection fits (binary search)."""
+        low, high = 1.0, 10_000.0
+        original = self.epoch_length_ms
+        try:
+            for _ in range(60):
+                mid = (low + high) / 2
+                self.epoch_length_ms = mid
+                if self.is_feasible(collection_time_ms):
+                    high = mid
+                else:
+                    low = mid
+            return high
+        finally:
+            self.epoch_length_ms = original
+
+
+def group_in_use(clock: EpochClock, controller_time_ms: float) -> int:
+    """Which sketch group (0 or 1) a switch is inserting into at a given time."""
+    return clock.timestamp_at(controller_time_ms)
+
+
+def safe_to_collect(
+    scheduler: CollectionScheduler, epoch_index: int, controller_time_ms: float,
+    egress: bool = False,
+) -> bool:
+    """Whether the controller may read epoch ``epoch_index``'s sketches now.
+
+    ``egress=True`` asks about the downstream flow encoder, which additionally
+    requires the in-flight packets of the epoch to have drained.
+    """
+    window = scheduler.window_for_epoch(epoch_index)
+    start = window.egress_start_ms if egress else window.ingress_start_ms
+    return start <= controller_time_ms <= window.end_ms

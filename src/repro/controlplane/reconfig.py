@@ -1,0 +1,338 @@
+"""Shifting measurement attention: the reconfiguration engine (section 4.3).
+
+The engine turns a :class:`~repro.controlplane.state.MonitoringSnapshot` into
+the :class:`~repro.dataplane.config.MonitoringConfig` of the next epoch.  Its
+two dimensions of dynamics are
+
+1. memory — moving buckets of the upstream/downstream flow encoders between
+   the HH, HL and LL encoders, and
+2. flows of importance — adjusting the classification thresholds ``T_h`` /
+   ``T_l`` and the LL sample rate.
+
+The network state is either **healthy** (all victim flows fit in the HL
+encoders; no LL encoder is allocated and ``T_l == 1``) or **ill** (victims do
+not fit; the encoders get the fixed ill-state division, ``T_l > 1`` selects
+heavy losses, and light losses are sampled).  The engine reproduces the
+per-state step sequences of sections 4.3.1 and 4.3.2, always steering every
+FermatSketch toward the 60–70 % load-factor band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..dataplane.config import EncoderLayout, MonitoringConfig, SwitchResources
+from .state import MonitoringSnapshot
+
+
+class NetworkLevel(Enum):
+    """The two levels of network state the controller distinguishes."""
+
+    HEALTHY = "healthy"
+    ILL = "ill"
+
+
+def flows_at_or_above(distribution: Mapping[int, float], threshold: int) -> float:
+    """Number of flows whose size is at least ``threshold``."""
+    return sum(count for size, count in distribution.items() if size >= threshold)
+
+
+def threshold_for_target(
+    distribution: Mapping[int, float],
+    target_count: float,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> int:
+    """Smallest threshold T such that at most ``target_count`` flows have size ≥ T.
+
+    This is how the controller "turns up/down" ``T_h`` and ``T_l`` from an
+    estimated flow-size distribution while aiming for a target encoder load.
+    """
+    if not distribution:
+        return minimum
+    sizes = sorted(distribution, reverse=True)
+    cumulative = 0.0
+    threshold = max(sizes) + 1
+    exceeded = False
+    for size in sizes:
+        cumulative += distribution[size]
+        if cumulative > target_count:
+            threshold = size + 1
+            exceeded = True
+            break
+        threshold = size
+    if not exceeded:
+        # Even the full population fits: no selection is needed.
+        threshold = minimum
+    threshold = max(minimum, threshold)
+    if maximum is not None:
+        threshold = min(maximum, threshold)
+    return threshold
+
+
+@dataclass
+class ReconfigurationDecision:
+    """The outcome of one reconfiguration pass."""
+
+    config: MonitoringConfig
+    level: NetworkLevel
+    transitioned: bool = False
+    notes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        prefix = f"[{self.level.value}{'*' if self.transitioned else ''}] "
+        return prefix + self.config.describe() + (
+            f" ({'; '.join(self.notes)})" if self.notes else ""
+        )
+
+
+class AttentionController:
+    """The healthy/ill reconfiguration state machine."""
+
+    def __init__(
+        self,
+        resources: SwitchResources,
+        target_load: float = 0.70,
+        low_load: float = 0.60,
+        initial_level: NetworkLevel = NetworkLevel.HEALTHY,
+    ) -> None:
+        if not 0 < low_load < target_load < 1:
+            raise ValueError("0 < low_load < target_load < 1 is required")
+        self.resources = resources
+        self.target_load = target_load
+        self.low_load = low_load
+        self.level = initial_level
+
+    # ------------------------------------------------------------------ #
+    # capacity helpers
+    # ------------------------------------------------------------------ #
+    def _capacity(self, buckets_per_array: int) -> float:
+        """Flows recordable at the target load in an encoder of that size."""
+        return self.target_load * buckets_per_array * self.resources.num_arrays
+
+    def _buckets_for(self, flows: float) -> int:
+        """Buckets per array needed to hold ``flows`` at the target load."""
+        if flows <= 0:
+            return self.resources.min_hl_buckets
+        return math.ceil(flows / (self.target_load * self.resources.num_arrays))
+
+    def _load(self, flows: float, buckets_per_array: int) -> float:
+        total = buckets_per_array * self.resources.num_arrays
+        return flows / total if total else float("inf")
+
+    def _per_switch_distribution(self, snapshot: MonitoringSnapshot) -> Dict[int, float]:
+        """Approximate per-ingress-switch flow-size distribution.
+
+        The MRAC-estimated distribution is rescaled so that its total matches
+        the (more reliable) linear-counting flow-count estimate, which keeps
+        threshold selection calibrated even when the shape estimate is rough.
+        """
+        switches = max(1, snapshot.num_ingress_switches)
+        distribution = snapshot.flow_size_distribution
+        total = sum(distribution.values())
+        per_switch_flows = snapshot.per_switch_flow_estimate()
+        scale = (per_switch_flows * switches / total) if total > 0 else 1.0
+        return {size: count * scale / switches for size, count in distribution.items()}
+
+    def _tune_threshold_high(
+        self, snapshot: MonitoringSnapshot, config: MonitoringConfig, m_hh: int
+    ) -> int:
+        """Pick T_h so each switch's HH encoder sits near the target load."""
+        if m_hh <= 0:
+            return max(config.threshold_high, config.threshold_low)
+        target = self._capacity(m_hh)
+        distribution = self._per_switch_distribution(snapshot)
+        threshold = threshold_for_target(distribution, target, minimum=1)
+        return max(threshold, config.threshold_low, 1)
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def reconfigure(self, snapshot: MonitoringSnapshot) -> ReconfigurationDecision:
+        """Produce the next epoch's configuration from this epoch's snapshot."""
+        if self.level is NetworkLevel.HEALTHY:
+            decision = self._reconfigure_healthy(snapshot)
+        else:
+            decision = self._reconfigure_ill(snapshot)
+        self.level = decision.level
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # healthy network state (section 4.3.1)
+    # ------------------------------------------------------------------ #
+    def _reconfigure_healthy(self, snapshot: MonitoringSnapshot) -> ReconfigurationDecision:
+        config = snapshot.config
+        resources = self.resources
+        notes = []
+
+        # Step 1: the upstream HH encoders must decode; otherwise raise T_h and
+        # stop (the delta HL encoder could not be analysed this epoch).
+        if not snapshot.hh_decode_success:
+            new_th = self._tune_threshold_high(snapshot, config, config.layout.m_hh)
+            # Guarantee geometric progress even when the estimated distribution
+            # is too coarse to pick a good threshold directly.
+            new_th = max(new_th, math.ceil(config.threshold_high * 1.5) + 1)
+            new_config = replace(config, threshold_high=new_th)
+            return ReconfigurationDecision(
+                new_config, NetworkLevel.HEALTHY, notes=("HH decode failed; raised T_h",)
+            )
+
+        layout = config.layout
+        threshold_low = config.threshold_low
+        sample_rate = config.sample_rate
+        level = NetworkLevel.HEALTHY
+        transitioned = False
+
+        # Step 2: the delta HL encoder must decode and stay well utilised.
+        num_victims = snapshot.victim_count_estimate
+        if not snapshot.hl_decode_success:
+            required = self._buckets_for(num_victims)
+            # Guarantee forward progress: a failed decode always gets strictly
+            # more memory than it had (the linear-counting estimate saturates
+            # and under-counts the victims that caused the failure).
+            required = max(required, 2 * layout.m_hl)
+            if required > resources.downstream_buckets:
+                # Healthy -> ill transition: fixed division, HLs selected by
+                # size, light losses sampled.
+                layout = resources.ill_layout
+                threshold_low = max(config.threshold_high, 2)
+                expected_lls = max(1.0, num_victims)
+                sample_rate = min(1.0, self._capacity(layout.m_ll) / expected_lls)
+                level = NetworkLevel.ILL
+                transitioned = True
+                notes.append("victims exceed downstream capacity; transitioned to ill")
+            else:
+                m_hl = max(resources.min_hl_buckets, required)
+                m_hl = min(m_hl, resources.downstream_buckets)
+                layout = EncoderLayout(
+                    m_hh=resources.upstream_buckets - m_hl, m_hl=m_hl, m_ll=0
+                )
+                notes.append("expanded HL encoders")
+        else:
+            load = self._load(num_victims, layout.m_hl)
+            if load < self.low_load:
+                m_hl = max(resources.min_hl_buckets, self._buckets_for(num_victims))
+                m_hl = min(m_hl, resources.downstream_buckets)
+                if m_hl != layout.m_hl:
+                    layout = EncoderLayout(
+                        m_hh=resources.upstream_buckets - m_hl, m_hl=m_hl, m_ll=0
+                    )
+                    notes.append("compressed HL encoders")
+
+        # Step 3: keep the HH encoders inside the 60–70 % load band.
+        threshold_high = config.threshold_high
+        if level is NetworkLevel.HEALTHY and layout.m_hh > 0:
+            expected_load = self._load(snapshot.max_hh_candidates(), layout.m_hh)
+            if expected_load < self.low_load or expected_load > self.target_load:
+                threshold_high = self._tune_threshold_high(snapshot, config, layout.m_hh)
+                notes.append("retuned T_h")
+        threshold_high = max(threshold_high, threshold_low)
+
+        new_config = MonitoringConfig(
+            layout=layout,
+            threshold_high=threshold_high,
+            threshold_low=threshold_low if level is NetworkLevel.ILL else 1,
+            sample_rate=sample_rate if level is NetworkLevel.ILL else 1.0,
+        )
+        return ReconfigurationDecision(new_config, level, transitioned, tuple(notes))
+
+    # ------------------------------------------------------------------ #
+    # ill network state (section 4.3.2)
+    # ------------------------------------------------------------------ #
+    def _reconfigure_ill(self, snapshot: MonitoringSnapshot) -> ReconfigurationDecision:
+        config = snapshot.config
+        resources = self.resources
+        layout = config.layout
+        notes = []
+
+        # Step 1a: upstream HH encoders must decode.
+        if not snapshot.hh_decode_success:
+            new_th = self._tune_threshold_high(snapshot, config, layout.m_hh)
+            new_th = max(new_th, math.ceil(config.threshold_high * 1.5) + 1)
+            new_config = replace(config, threshold_high=new_th)
+            return ReconfigurationDecision(
+                new_config, NetworkLevel.ILL, notes=("HH decode failed; raised T_h",)
+            )
+
+        # Step 1b: the delta LL encoder must decode; otherwise retune the
+        # sample rate and stop.
+        if not snapshot.ll_decode_success:
+            sampled = max(1.0, snapshot.num_sampled_light_losses)
+            new_rate = config.sample_rate * self._capacity(layout.m_ll) / sampled
+            new_rate = min(1.0, max(1e-4, new_rate))
+            new_config = replace(config, sample_rate=new_rate)
+            return ReconfigurationDecision(
+                new_config, NetworkLevel.ILL, notes=("LL decode failed; retuned sample rate",)
+            )
+
+        threshold_low = config.threshold_low
+        threshold_high = config.threshold_high
+        sample_rate = config.sample_rate
+        level = NetworkLevel.ILL
+        transitioned = False
+
+        # Step 2: the delta HL encoder must decode; otherwise raise T_l.
+        if not snapshot.hl_decode_success:
+            target = self._capacity(layout.m_hl)
+            threshold_low = threshold_for_target(
+                snapshot.victim_size_distribution,
+                target,
+                minimum=max(2, config.threshold_low + 1),
+                maximum=threshold_high,
+            )
+            notes.append("HL decode failed; raised T_l")
+        else:
+            # Step 3: if everything decodes, consider returning to healthy or
+            # re-balancing T_l / the sample rate toward the target load.
+            victims = snapshot.victim_count_estimate
+            required = self._buckets_for(victims)
+            if required <= resources.downstream_buckets:
+                m_hl = max(resources.min_hl_buckets, required)
+                m_hl = min(m_hl, resources.downstream_buckets)
+                layout = EncoderLayout(
+                    m_hh=resources.upstream_buckets - m_hl, m_hl=m_hl, m_ll=0
+                )
+                level = NetworkLevel.HEALTHY
+                transitioned = True
+                threshold_low = 1
+                sample_rate = 1.0
+                notes.append("victims fit again; transitioned to healthy")
+            else:
+                hl_load = self._load(snapshot.num_heavy_losses, layout.m_hl)
+                ll_load = self._load(snapshot.num_sampled_light_losses, layout.m_ll)
+                if hl_load < self.low_load and snapshot.victim_size_distribution:
+                    threshold_low = threshold_for_target(
+                        snapshot.victim_size_distribution,
+                        self._capacity(layout.m_hl),
+                        minimum=2,
+                        maximum=threshold_high,
+                    )
+                    notes.append("retuned T_l")
+                if ll_load < self.low_load:
+                    expected_lls = max(
+                        1.0, victims - flows_at_or_above(
+                            snapshot.victim_size_distribution, threshold_low
+                        )
+                    )
+                    sample_rate = min(1.0, self._capacity(layout.m_ll) / expected_lls)
+                    notes.append("retuned sample rate")
+
+        # Step 4: keep the HH encoders near the target load.
+        if layout.m_hh > 0 and level is NetworkLevel.ILL:
+            expected_load = self._load(snapshot.max_hh_candidates(), layout.m_hh)
+            if expected_load < self.low_load or expected_load > self.target_load:
+                threshold_high = self._tune_threshold_high(snapshot, config, layout.m_hh)
+                notes.append("retuned T_h")
+        threshold_high = max(threshold_high, threshold_low)
+        threshold_low = min(threshold_low, threshold_high)
+
+        new_config = MonitoringConfig(
+            layout=layout,
+            threshold_high=threshold_high,
+            threshold_low=threshold_low,
+            sample_rate=sample_rate,
+        )
+        return ReconfigurationDecision(new_config, level, transitioned, tuple(notes))

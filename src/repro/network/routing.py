@@ -1,0 +1,42 @@
+"""ECMP routing over the fat-tree topology.
+
+Data-center fabrics spread flows over the equal-cost shortest paths by hashing
+the flow identifier; all packets of one flow stay on one path, so per-flow
+loss accounting (what ChameleMon measures) is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sketches.hashing import HashFamily
+from .topology import FatTreeTopology, NodeId
+
+
+class EcmpRouter:
+    """Deterministic ECMP path selection by flow hash."""
+
+    def __init__(self, topology: FatTreeTopology, seed: int = 0) -> None:
+        self.topology = topology
+        self._hash = HashFamily(seed).draw(1 << 30)
+        self._path_cache: Dict[Tuple[NodeId, NodeId], List[List[NodeId]]] = {}
+
+    def path_for_flow(self, flow_id: int, src_host: int, dst_host: int) -> List[NodeId]:
+        """The switch-level path taken by every packet of ``flow_id``."""
+        src = self.topology.host(src_host)
+        dst = self.topology.host(dst_host)
+        key = (src, dst)
+        if key not in self._path_cache:
+            self._path_cache[key] = self.topology.candidate_paths(src, dst)
+        candidates = self._path_cache[key]
+        index = self._hash(flow_id) % len(candidates)
+        return candidates[index]
+
+    def ingress_edge(self, src_host: int) -> NodeId:
+        return self.topology.edge_switch_of_host(src_host)
+
+    def egress_edge(self, dst_host: int) -> NodeId:
+        return self.topology.edge_switch_of_host(dst_host)
+
+    def path_hops(self, flow_id: int, src_host: int, dst_host: int) -> int:
+        return max(0, len(self.path_for_flow(flow_id, src_host, dst_host)) - 1)

@@ -1,0 +1,154 @@
+"""Packet-level simulation of one epoch of traffic over the fat-tree testbed.
+
+The simulator replays a :class:`~repro.traffic.flow.Trace` through the
+ChameleMon data planes deployed on the edge switches: every flow's packets are
+classified and encoded at its ingress edge switch, a controlled subset of
+packets is dropped in the fabric (mirroring the testbed's proactive ECN-based
+drops), and the surviving packets are encoded at the egress edge switch with
+the hierarchy assigned at the ingress (carried in packet headers on the
+testbed).
+
+The simulator is epoch-synchronous: all of an epoch's packets are delivered or
+dropped before the controller collects the epoch's sketches, matching the
+"additional waiting time" the paper introduces before collection (appendix B).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataplane.switch import EdgeSwitch, HierarchySegments
+from ..traffic.flow import FlowRecord, Trace
+from .routing import EcmpRouter
+from .topology import FatTreeTopology, NodeId
+
+
+@dataclass
+class EpochTruth:
+    """Ground truth of one simulated epoch, for accuracy evaluation."""
+
+    flow_sizes: Dict[int, int] = field(default_factory=dict)
+    losses: Dict[int, int] = field(default_factory=dict)
+    per_switch_flows: Dict[NodeId, int] = field(default_factory=dict)
+
+    def num_flows(self) -> int:
+        return len(self.flow_sizes)
+
+    def num_victims(self) -> int:
+        return len(self.losses)
+
+    def total_lost_packets(self) -> int:
+        return sum(self.losses.values())
+
+
+def distribute_losses(
+    segments: HierarchySegments, lost_packets: int, rng: random.Random
+) -> HierarchySegments:
+    """Remove ``lost_packets`` packets uniformly at random from the segments.
+
+    Returns the *delivered* segments (same hierarchy order, reduced counts).
+    Losses land on packets uniformly, so each segment loses a hypergeometric
+    share; this mirrors dropping ECN-marked packets irrespective of when in
+    the flow's lifetime they were sent.
+    """
+    total = sum(count for _, count in segments)
+    lost_packets = max(0, min(lost_packets, total))
+    if lost_packets == 0:
+        return list(segments)
+    remaining_total = total
+    remaining_losses = lost_packets
+    delivered: HierarchySegments = []
+    for hierarchy, count in segments:
+        # Sequential hypergeometric draw: each packet of the segment is lost
+        # with probability remaining_losses / remaining_total.
+        losses_here = 0
+        for _ in range(count):
+            if remaining_losses > 0 and rng.random() < remaining_losses / remaining_total:
+                losses_here += 1
+                remaining_losses -= 1
+            remaining_total -= 1
+        delivered.append((hierarchy, count - losses_here))
+    return delivered
+
+
+class NetworkSimulator:
+    """Replays traffic over the fat-tree and drives the edge-switch data planes."""
+
+    def __init__(
+        self,
+        topology: Optional[FatTreeTopology] = None,
+        switches: Optional[Dict[NodeId, EdgeSwitch]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology or FatTreeTopology.testbed()
+        self.router = EcmpRouter(self.topology, seed=seed)
+        self.switches: Dict[NodeId, EdgeSwitch] = switches or {}
+        self._rng = random.Random(seed)
+
+    def attach_switch(self, node: NodeId, switch: EdgeSwitch) -> None:
+        if node not in self.topology.edge_switches:
+            raise ValueError(f"{node} is not an edge switch of the topology")
+        self.switches[node] = switch
+
+    def edge_switch_for_host(self, host: int) -> EdgeSwitch:
+        node = self.topology.edge_switch_of_host(host)
+        if node not in self.switches:
+            raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
+        return self.switches[node]
+
+    # ------------------------------------------------------------------ #
+    def transmit_flow(self, flow: FlowRecord) -> Tuple[HierarchySegments, int]:
+        """Send one flow through the network; returns (delivered segments, losses)."""
+        src = flow.src_host if flow.src_host is not None else 0
+        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % self.topology.num_hosts
+        ingress = self.edge_switch_for_host(src)
+        egress = self.edge_switch_for_host(dst)
+        segments = ingress.process_flow_upstream(flow.flow_id, flow.size)
+        lost = flow.lost_packets if flow.is_victim else 0
+        delivered = distribute_losses(segments, lost, self._rng)
+        egress.process_flow_downstream(flow.flow_id, delivered)
+        return delivered, lost
+
+    def run_epoch(self, trace: Trace) -> EpochTruth:
+        """Replay a whole trace as one epoch and return its ground truth."""
+        truth = EpochTruth()
+        for flow in trace.flows:
+            delivered, lost = self.transmit_flow(flow)
+            truth.flow_sizes[flow.flow_id] = flow.size
+            if lost > 0:
+                truth.losses[flow.flow_id] = lost
+            src = flow.src_host if flow.src_host is not None else 0
+            ingress_node = self.topology.edge_switch_of_host(src)
+            truth.per_switch_flows[ingress_node] = (
+                truth.per_switch_flows.get(ingress_node, 0) + 1
+            )
+        return truth
+
+    def rotate_all(self) -> Dict[NodeId, "object"]:
+        """Rotate every edge switch to a new epoch; return the finished groups."""
+        return {node: switch.rotate_epoch() for node, switch in self.switches.items()}
+
+
+def build_testbed_simulator(
+    resources=None,
+    config=None,
+    seed: int = 0,
+    prime: Optional[int] = None,
+) -> NetworkSimulator:
+    """Convenience constructor: testbed fat-tree with a ChameleMon data plane
+    on every edge switch, all sharing hash seeds (so encoders can be summed)."""
+    from ..dataplane.config import SwitchResources
+    from ..sketches.fermat import MERSENNE_PRIME_127
+
+    topology = FatTreeTopology.testbed()
+    simulator = NetworkSimulator(topology, seed=seed)
+    resources = resources or SwitchResources()
+    prime = prime or MERSENNE_PRIME_127
+    for node in topology.edge_switches:
+        switch = EdgeSwitch(
+            node, resources=resources, config=config, base_seed=seed, prime=prime
+        )
+        simulator.attach_switch(node, switch)
+    return simulator

@@ -1,0 +1,131 @@
+"""Fat-tree topology — the testbed substrate (10 Tofino switches, 8 servers).
+
+The paper's testbed is a k=4 fat-tree truncated to two pods: 2 core switches,
+4 aggregation switches, 4 edge (ToR) switches and 8 servers, interconnected
+with 40 Gb links.  This module builds that topology (and general k-ary
+fat-trees) as a :class:`networkx.Graph` with typed nodes, plus the helpers the
+measurement system needs: which edge switch serves a host, and the set of
+edge switches where ChameleMon's data plane is deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+NodeId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Geometry of a (possibly truncated) k-ary fat-tree."""
+
+    k: int = 4
+    num_pods: int | None = None  # defaults to k; the testbed uses 2 pods
+    hosts_per_edge: int | None = None  # defaults to k // 2
+
+    def resolved(self) -> Tuple[int, int, int]:
+        pods = self.num_pods if self.num_pods is not None else self.k
+        hosts = self.hosts_per_edge if self.hosts_per_edge is not None else self.k // 2
+        return self.k, pods, hosts
+
+
+class FatTreeTopology:
+    """A fat-tree data-center topology with typed switch/host nodes."""
+
+    def __init__(self, spec: FatTreeSpec | None = None) -> None:
+        self.spec = spec or FatTreeSpec()
+        k, pods, hosts_per_edge = self.spec.resolved()
+        if k < 2 or k % 2:
+            raise ValueError("fat-tree k must be an even integer >= 2")
+        if pods < 1 or pods > k:
+            raise ValueError("num_pods must be between 1 and k")
+        self.graph = nx.Graph()
+        self.core_switches: List[NodeId] = []
+        self.agg_switches: List[NodeId] = []
+        self.edge_switches: List[NodeId] = []
+        self.hosts: List[NodeId] = []
+        self._host_edge: Dict[NodeId, NodeId] = {}
+        self._build(k, pods, hosts_per_edge)
+
+    @classmethod
+    def testbed(cls) -> "FatTreeTopology":
+        """The paper's testbed: k=4 fat-tree with 2 pods and 8 servers."""
+        return cls(FatTreeSpec(k=4, num_pods=2, hosts_per_edge=2))
+
+    # ------------------------------------------------------------------ #
+    def _build(self, k: int, pods: int, hosts_per_edge: int) -> None:
+        half = k // 2
+        num_core = half * half
+        for i in range(num_core):
+            node = ("core", i)
+            self.core_switches.append(node)
+            self.graph.add_node(node, kind="core")
+        host_index = 0
+        for pod in range(pods):
+            pod_aggs: List[NodeId] = []
+            pod_edges: List[NodeId] = []
+            for i in range(half):
+                agg = ("agg", pod * half + i)
+                pod_aggs.append(agg)
+                self.agg_switches.append(agg)
+                self.graph.add_node(agg, kind="agg", pod=pod)
+                edge = ("edge", pod * half + i)
+                pod_edges.append(edge)
+                self.edge_switches.append(edge)
+                self.graph.add_node(edge, kind="edge", pod=pod)
+            # core <-> aggregation
+            for i, agg in enumerate(pod_aggs):
+                for j in range(half):
+                    core = self.core_switches[i * half + j]
+                    self.graph.add_edge(core, agg, capacity_gbps=40)
+            # aggregation <-> edge (full bipartite within the pod)
+            for agg in pod_aggs:
+                for edge in pod_edges:
+                    self.graph.add_edge(agg, edge, capacity_gbps=40)
+            # edge <-> hosts
+            for edge in pod_edges:
+                for _ in range(hosts_per_edge):
+                    host = ("host", host_index)
+                    host_index += 1
+                    self.hosts.append(host)
+                    self.graph.add_node(host, kind="host")
+                    self.graph.add_edge(edge, host, capacity_gbps=40)
+                    self._host_edge[host] = edge
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.core_switches) + len(self.agg_switches) + len(self.edge_switches)
+
+    def host(self, index: int) -> NodeId:
+        return self.hosts[index]
+
+    def edge_switch_of_host(self, host: int | NodeId) -> NodeId:
+        if isinstance(host, int):
+            host = self.hosts[host]
+        return self._host_edge[host]
+
+    def hosts_of_edge(self, edge: NodeId) -> List[NodeId]:
+        return [h for h, e in self._host_edge.items() if e == edge]
+
+    def candidate_paths(self, src_host: int | NodeId, dst_host: int | NodeId) -> List[List[NodeId]]:
+        """All shortest switch-level paths between two hosts (for ECMP)."""
+        if isinstance(src_host, int):
+            src_host = self.hosts[src_host]
+        if isinstance(dst_host, int):
+            dst_host = self.hosts[dst_host]
+        if src_host == dst_host:
+            return [[src_host]]
+        return [list(path) for path in nx.all_shortest_paths(self.graph, src_host, dst_host)]
+
+    def diameter_hops(self) -> int:
+        """Longest shortest path in hops (the paper assumes at most five hops)."""
+        switch_graph = self.graph
+        return nx.diameter(switch_graph)

@@ -1,0 +1,81 @@
+"""Sketch data structures: ChameleMon's FermatSketch/TowerSketch and baselines."""
+
+from .base import DecodeResult, FrequencySketch, HeavyHitterSketch, InvertibleSketch, Sketch
+from .bloom import BloomFilter
+from .cm import CountMinSketch, CUSketch
+from .coco import CocoSketch
+from .countsketch import CountHeap, CountSketch
+from .elastic import ElasticSketch
+from .fcm import FCMSketch
+from .fermat import (
+    DEFAULT_NUM_ARRAYS,
+    MERSENNE_PRIME_61,
+    MERSENNE_PRIME_89,
+    MERSENNE_PRIME_127,
+    FermatParams,
+    FermatSketch,
+    minimum_memory_for_flows,
+    packet_loss_sketch_pair,
+    peeling_threshold,
+)
+from .flowradar import FlowRadar, flowradar_loss_detection
+from .hashing import HashFamily, PairwiseHash, fold_key, unfold_key
+from .hashpipe import HashPipe
+from .linear_counting import (
+    estimate_cardinality,
+    estimate_flows_per_bucket_array,
+    linear_counting_estimate,
+)
+from .lossradar import LossRadar, lossradar_loss_detection
+from .mrac import (
+    counter_value_histogram,
+    distribution_entropy,
+    estimate_flow_size_distribution,
+    merge_distributions,
+)
+from .tower import TowerLevel, TowerSketch
+from .univmon import UnivMon
+
+__all__ = [
+    "BloomFilter",
+    "CocoSketch",
+    "CountHeap",
+    "CountMinSketch",
+    "CountSketch",
+    "CUSketch",
+    "DecodeResult",
+    "DEFAULT_NUM_ARRAYS",
+    "ElasticSketch",
+    "FCMSketch",
+    "FermatParams",
+    "FermatSketch",
+    "FlowRadar",
+    "FrequencySketch",
+    "HashFamily",
+    "HashPipe",
+    "HeavyHitterSketch",
+    "InvertibleSketch",
+    "LossRadar",
+    "MERSENNE_PRIME_61",
+    "MERSENNE_PRIME_89",
+    "MERSENNE_PRIME_127",
+    "PairwiseHash",
+    "Sketch",
+    "TowerLevel",
+    "TowerSketch",
+    "UnivMon",
+    "counter_value_histogram",
+    "distribution_entropy",
+    "estimate_cardinality",
+    "estimate_flow_size_distribution",
+    "estimate_flows_per_bucket_array",
+    "flowradar_loss_detection",
+    "fold_key",
+    "linear_counting_estimate",
+    "lossradar_loss_detection",
+    "merge_distributions",
+    "minimum_memory_for_flows",
+    "packet_loss_sketch_pair",
+    "peeling_threshold",
+    "unfold_key",
+]

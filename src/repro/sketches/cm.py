@@ -1,0 +1,84 @@
+"""Count-Min and CU sketches — packet-accumulation baselines (Figure 11)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import FrequencySketch
+from .hashing import HashFamily, PairwiseHash
+
+#: Figure 11 uses 32-bit counters for CM/CU.
+COUNTER_BYTES = 4
+
+
+class CountMinSketch(FrequencySketch):
+    """Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+    ``d`` rows of ``w`` counters; insertion increments one counter per row and
+    a query reports the minimum mapped counter, which over-estimates the true
+    size by the colliding traffic.
+    """
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        family = HashFamily(seed)
+        self._hashes: List[PairwiseHash] = family.draw_many(depth, width)
+        self._counters: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, depth: int = 3, seed: int = 0) -> "CountMinSketch":
+        width = max(1, memory_bytes // (depth * COUNTER_BYTES))
+        return cls(width, depth, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.width * self.depth * COUNTER_BYTES
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        for row, h in enumerate(self._hashes):
+            self._counters[row][h(flow_id)] += count
+
+    def query(self, flow_id: int) -> int:
+        return min(
+            self._counters[row][h(flow_id)] for row, h in enumerate(self._hashes)
+        )
+
+
+class CUSketch(FrequencySketch):
+    """CU sketch (conservative update variant of Count-Min).
+
+    On insertion only the minimum mapped counters are incremented, which keeps
+    the same no-underestimate guarantee while reducing over-estimation.
+    """
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        family = HashFamily(seed)
+        self._hashes: List[PairwiseHash] = family.draw_many(depth, width)
+        self._counters: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, depth: int = 3, seed: int = 0) -> "CUSketch":
+        width = max(1, memory_bytes // (depth * COUNTER_BYTES))
+        return cls(width, depth, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.width * self.depth * COUNTER_BYTES
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        positions = [h(flow_id) for h in self._hashes]
+        values = [self._counters[row][pos] for row, pos in enumerate(positions)]
+        target = min(values) + count
+        for row, pos in enumerate(positions):
+            if self._counters[row][pos] < target:
+                self._counters[row][pos] = target
+
+    def query(self, flow_id: int) -> int:
+        return min(
+            self._counters[row][h(flow_id)] for row, h in enumerate(self._hashes)
+        )

@@ -1,0 +1,73 @@
+"""CocoSketch baseline (Zhang et al., SIGCOMM 2021), single-hash hardware version.
+
+CocoSketch keeps one (flow ID, counter) pair per bucket.  Every packet
+increments its bucket's counter; when the resident flow differs from the
+incoming one, the resident flow ID is replaced with probability
+``count / counter`` (stochastic variance minimisation), which makes the
+per-flow estimate unbiased for arbitrary partial keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .hashing import HashFamily
+
+SLOT_BYTES = 8
+
+
+@dataclass
+class _CocoSlot:
+    flow_id: Optional[int] = None
+    count: int = 0
+
+
+class CocoSketch(HeavyHitterSketch, FrequencySketch):
+    """Single-hash CocoSketch."""
+
+    def __init__(self, num_slots: int, seed: int = 0) -> None:
+        if num_slots <= 0:
+            raise ValueError("CocoSketch needs at least one slot")
+        self.num_slots = num_slots
+        family = HashFamily(seed)
+        self._hash = family.draw(num_slots)
+        self._slots = [_CocoSlot() for _ in range(num_slots)]
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, seed: int = 0) -> "CocoSketch":
+        return cls(max(1, memory_bytes // SLOT_BYTES), seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.num_slots * SLOT_BYTES
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        slot = self._slots[self._hash(flow_id)]
+        slot.count += count
+        if slot.flow_id is None or slot.flow_id == flow_id:
+            slot.flow_id = flow_id
+            return
+        # Replace the resident key with probability count / slot.count.
+        if self._rng.random() < count / slot.count:
+            slot.flow_id = flow_id
+
+    def query(self, flow_id: int) -> int:
+        slot = self._slots[self._hash(flow_id)]
+        if slot.flow_id == flow_id:
+            return slot.count
+        return 0
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {
+            slot.flow_id: slot.count
+            for slot in self._slots
+            if slot.flow_id is not None and slot.count >= threshold
+        }
+
+    def tracked_flows(self) -> Dict[int, int]:
+        return {
+            slot.flow_id: slot.count for slot in self._slots if slot.flow_id is not None
+        }

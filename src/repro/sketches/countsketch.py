@@ -1,0 +1,116 @@
+"""Count sketch and CountHeap — unbiased frequency estimation baseline."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .hashing import HashFamily, PairwiseHash
+
+COUNTER_BYTES = 4
+
+
+class CountSketch(FrequencySketch):
+    """Count sketch (Charikar, Chen & Farach-Colton 2002).
+
+    Each row pairs a bucket hash with a ±1 sign hash; the estimate is the
+    median of the signed mapped counters, which is unbiased (unlike Count-Min).
+    """
+
+    def __init__(self, width: int, depth: int = 3, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        family = HashFamily(seed)
+        self._hashes: List[PairwiseHash] = family.draw_many(depth, width)
+        self._signs: List[PairwiseHash] = family.draw_many(depth, 2)
+        self._counters: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, depth: int = 3, seed: int = 0) -> "CountSketch":
+        width = max(1, memory_bytes // (depth * COUNTER_BYTES))
+        return cls(width, depth, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.width * self.depth * COUNTER_BYTES
+
+    def _sign(self, row: int, flow_id: int) -> int:
+        return 1 if self._signs[row](flow_id) else -1
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        for row, h in enumerate(self._hashes):
+            self._counters[row][h(flow_id)] += self._sign(row, flow_id) * count
+
+    def query(self, flow_id: int) -> int:
+        estimates = sorted(
+            self._sign(row, flow_id) * self._counters[row][h(flow_id)]
+            for row, h in enumerate(self._hashes)
+        )
+        mid = len(estimates) // 2
+        if len(estimates) % 2:
+            return max(0, estimates[mid])
+        return max(0, (estimates[mid - 1] + estimates[mid]) // 2)
+
+
+class CountHeap(HeavyHitterSketch, FrequencySketch):
+    """Count sketch plus a top-k min-heap of candidate heavy hitters."""
+
+    def __init__(self, width: int, depth: int = 3, heap_capacity: int = 4096, seed: int = 0) -> None:
+        self.sketch = CountSketch(width, depth, seed=seed)
+        if heap_capacity <= 0:
+            raise ValueError("heap_capacity must be positive")
+        self.heap_capacity = heap_capacity
+        self._heap: List[Tuple[int, int]] = []  # (estimate, flow_id)
+        self._members: Dict[int, int] = {}
+
+    @classmethod
+    def for_memory(
+        cls, memory_bytes: int, depth: int = 3, heap_capacity: int = 4096, seed: int = 0
+    ) -> "CountHeap":
+        heap_bytes = heap_capacity * 8  # flow ID + counter per entry
+        sketch_bytes = max(depth * COUNTER_BYTES, memory_bytes - heap_bytes)
+        width = max(1, sketch_bytes // (depth * COUNTER_BYTES))
+        return cls(width, depth, heap_capacity, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.sketch.memory_bytes() + self.heap_capacity * 8
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        self.sketch.insert(flow_id, count)
+        estimate = self.sketch.query(flow_id)
+        if flow_id in self._members:
+            self._members[flow_id] = estimate
+            return
+        if len(self._members) < self.heap_capacity:
+            self._members[flow_id] = estimate
+            heapq.heappush(self._heap, (estimate, flow_id))
+            return
+        self._refresh_heap_root()
+        smallest_estimate, smallest_flow = self._heap[0]
+        if estimate > smallest_estimate:
+            heapq.heapreplace(self._heap, (estimate, flow_id))
+            del self._members[smallest_flow]
+            self._members[flow_id] = estimate
+
+    def _refresh_heap_root(self) -> None:
+        """Drop heap entries whose flow was evicted and refresh the root estimate."""
+        while self._heap:
+            estimate, flow_id = self._heap[0]
+            if flow_id not in self._members:
+                heapq.heappop(self._heap)
+                continue
+            current = self._members[flow_id]
+            if current != estimate:
+                heapq.heapreplace(self._heap, (current, flow_id))
+                continue
+            break
+
+    def query(self, flow_id: int) -> int:
+        if flow_id in self._members:
+            return self._members[flow_id]
+        return self.sketch.query(flow_id)
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {f: est for f, est in self._members.items() if est >= threshold}

@@ -1,0 +1,162 @@
+"""ElasticSketch baseline (Yang et al., SIGCOMM 2018), hardware version.
+
+ElasticSketch separates elephants from mice: a multi-stage *heavy part* keeps
+(flow ID, positive votes, negative votes, flag) buckets with a vote-based
+eviction rule, and evicted or small traffic falls through to a *light part*
+(a one-row 8-bit Count-Min).  It supports per-flow size queries, heavy-hitter
+and heavy-change detection, flow-size distribution, entropy, and cardinality —
+the six packet-accumulation tasks of Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .hashing import HashFamily, PairwiseHash
+
+#: Heavy-part bucket: 32-bit key, 32-bit positive votes, 32-bit negative votes.
+HEAVY_BUCKET_BYTES = 12
+LIGHT_COUNTER_BYTES = 1
+LIGHT_SATURATION = 255
+#: Eviction threshold lambda of the hardware version.
+VOTE_EVICTION_RATIO = 8
+
+
+@dataclass
+class _HeavyBucket:
+    flow_id: Optional[int] = None
+    positive_votes: int = 0
+    negative_votes: int = 0
+    flag: bool = False  # True when part of this flow's traffic is in the light part
+
+
+class ElasticSketch(HeavyHitterSketch, FrequencySketch):
+    """ElasticSketch with ``num_stages`` heavy stages and an 8-bit light part."""
+
+    def __init__(
+        self,
+        buckets_per_stage: int,
+        num_stages: int = 4,
+        light_counters: int = 65536,
+        seed: int = 0,
+    ) -> None:
+        if buckets_per_stage <= 0 or num_stages <= 0 or light_counters <= 0:
+            raise ValueError("ElasticSketch sizes must be positive")
+        self.buckets_per_stage = buckets_per_stage
+        self.num_stages = num_stages
+        self.light_counters = light_counters
+        family = HashFamily(seed)
+        self._stage_hashes: List[PairwiseHash] = family.draw_many(
+            num_stages, buckets_per_stage
+        )
+        self._light_hash = family.draw(light_counters)
+        self._stages: List[List[_HeavyBucket]] = [
+            [_HeavyBucket() for _ in range(buckets_per_stage)] for _ in range(num_stages)
+        ]
+        self._light: List[int] = [0] * light_counters
+
+    @classmethod
+    def for_memory(
+        cls, memory_bytes: int, num_stages: int = 4, heavy_fraction: float = 0.25, seed: int = 0
+    ) -> "ElasticSketch":
+        """Split memory between the heavy part and the light part."""
+        heavy_bytes = int(memory_bytes * heavy_fraction)
+        light_bytes = memory_bytes - heavy_bytes
+        buckets_per_stage = max(1, heavy_bytes // (num_stages * HEAVY_BUCKET_BYTES))
+        light_counters = max(1, light_bytes // LIGHT_COUNTER_BYTES)
+        return cls(buckets_per_stage, num_stages, light_counters, seed=seed)
+
+    def memory_bytes(self) -> int:
+        heavy = self.num_stages * self.buckets_per_stage * HEAVY_BUCKET_BYTES
+        return heavy + self.light_counters * LIGHT_COUNTER_BYTES
+
+    # ------------------------------------------------------------------ #
+    def _light_insert(self, flow_id: int, count: int) -> None:
+        j = self._light_hash(flow_id)
+        self._light[j] = min(LIGHT_SATURATION, self._light[j] + count)
+
+    def _light_query(self, flow_id: int) -> int:
+        return self._light[self._light_hash(flow_id)]
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        remaining_flow = flow_id
+        remaining_count = count
+        carries_light_flag = False
+        for stage, h in zip(self._stages, self._stage_hashes):
+            bucket = stage[h(remaining_flow)]
+            if bucket.flow_id is None:
+                bucket.flow_id = remaining_flow
+                bucket.positive_votes = remaining_count
+                bucket.flag = carries_light_flag
+                return
+            if bucket.flow_id == remaining_flow:
+                bucket.positive_votes += remaining_count
+                return
+            bucket.negative_votes += remaining_count
+            if bucket.negative_votes >= VOTE_EVICTION_RATIO * bucket.positive_votes:
+                # Evict the resident flow to the next stage (or the light part)
+                # and install the new flow here.
+                evicted_flow = bucket.flow_id
+                evicted_count = bucket.positive_votes
+                bucket.flow_id = remaining_flow
+                bucket.positive_votes = remaining_count
+                bucket.negative_votes = 0
+                bucket.flag = carries_light_flag
+                remaining_flow = evicted_flow
+                remaining_count = evicted_count
+                carries_light_flag = True
+            else:
+                # The incoming flow moves on to the next stage.
+                carries_light_flag = carries_light_flag
+        # Fell out of the last stage: record the remainder in the light part.
+        self._light_insert(remaining_flow, remaining_count)
+        self._mark_light_flag(remaining_flow)
+
+    def _mark_light_flag(self, flow_id: int) -> None:
+        for stage, h in zip(self._stages, self._stage_hashes):
+            bucket = stage[h(flow_id)]
+            if bucket.flow_id == flow_id:
+                bucket.flag = True
+                return
+
+    def _heavy_lookup(self, flow_id: int) -> Optional[_HeavyBucket]:
+        for stage, h in zip(self._stages, self._stage_hashes):
+            bucket = stage[h(flow_id)]
+            if bucket.flow_id == flow_id:
+                return bucket
+        return None
+
+    def query(self, flow_id: int) -> int:
+        bucket = self._heavy_lookup(flow_id)
+        if bucket is None:
+            return self._light_query(flow_id)
+        estimate = bucket.positive_votes
+        if bucket.flag:
+            estimate += self._light_query(flow_id)
+        return estimate
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        result: Dict[int, int] = {}
+        for stage in self._stages:
+            for bucket in stage:
+                if bucket.flow_id is None:
+                    continue
+                estimate = self.query(bucket.flow_id)
+                if estimate >= threshold:
+                    result[bucket.flow_id] = estimate
+        return result
+
+    def tracked_flows(self) -> Dict[int, int]:
+        """All flows resident in the heavy part with their estimates."""
+        return {
+            bucket.flow_id: self.query(bucket.flow_id)
+            for stage in self._stages
+            for bucket in stage
+            if bucket.flow_id is not None
+        }
+
+    def light_counters_view(self) -> List[int]:
+        """Raw light-part counters (for distribution / cardinality estimation)."""
+        return list(self._light)

@@ -1,0 +1,136 @@
+"""FCM-sketch baseline (Song et al., CoNEXT 2020), top-k version.
+
+FCM arranges counters in a k-ary tree per row: a packet first increments a
+small counter at the leaf level; when that counter saturates, the overflow is
+tracked at the next (wider) level.  A flow's estimate sums the saturated lower
+levels with the value at its first non-saturated level.  The top-k version
+(compared in Figure 11) adds an Elastic-style heavy part in front; here we
+pair the FCM light part with a small exact top-k table, which reproduces the
+same query behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .hashing import HashFamily, PairwiseHash
+
+#: Counter widths per tree level (bits), following the 16-ary FCM with depth 2+
+#: used in the paper's comparison (8-bit leaves, 16-bit mid, 32-bit root).
+LEVEL_BITS = (8, 16, 32)
+TOPK_ENTRY_BYTES = 8
+
+
+class FCMSketch(HeavyHitterSketch, FrequencySketch):
+    """FCM-sketch with ``depth`` independent k-ary counter trees."""
+
+    def __init__(
+        self,
+        leaf_counters: int,
+        depth: int = 2,
+        fanout: int = 16,
+        topk_capacity: int = 2048,
+        seed: int = 0,
+    ) -> None:
+        if leaf_counters <= 0 or depth <= 0 or fanout <= 1:
+            raise ValueError("invalid FCM geometry")
+        self.depth = depth
+        self.fanout = fanout
+        self.topk_capacity = topk_capacity
+        family = HashFamily(seed)
+        self._levels: List[List[List[int]]] = []  # [row][level][counter]
+        self._widths: List[List[int]] = []  # counters per level
+        self._hashes: List[PairwiseHash] = []
+        for _ in range(depth):
+            widths = []
+            counters = []
+            width = leaf_counters
+            for _level in range(len(LEVEL_BITS)):
+                widths.append(max(1, width))
+                counters.append([0] * max(1, width))
+                width //= fanout
+            self._widths.append(widths)
+            self._levels.append(counters)
+            self._hashes.append(family.draw(leaf_counters))
+        self._topk: Dict[int, int] = {}
+
+    @classmethod
+    def for_memory(
+        cls, memory_bytes: int, depth: int = 2, fanout: int = 16, seed: int = 0
+    ) -> "FCMSketch":
+        topk_capacity = 2048
+        budget = max(1, memory_bytes - topk_capacity * TOPK_ENTRY_BYTES)
+        # bytes per leaf across levels of one row: 1 + 2/fanout + 4/fanout^2
+        per_leaf = 1.0 + 2.0 / fanout + 4.0 / (fanout * fanout)
+        leaf_counters = max(1, int(budget / (depth * per_leaf)))
+        return cls(leaf_counters, depth=depth, fanout=fanout, topk_capacity=topk_capacity, seed=seed)
+
+    def memory_bytes(self) -> int:
+        total = self.topk_capacity * TOPK_ENTRY_BYTES
+        for widths in self._widths:
+            for level, width in enumerate(widths):
+                total += width * LEVEL_BITS[level] // 8
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _saturation(self, level: int) -> int:
+        return (1 << LEVEL_BITS[level]) - 1
+
+    def _row_insert(self, row: int, flow_id: int, count: int) -> None:
+        index = self._hashes[row](flow_id)
+        for level in range(len(LEVEL_BITS)):
+            width = self._widths[row][level]
+            slot = index % width
+            counters = self._levels[row][level]
+            saturation = self._saturation(level)
+            room = saturation - counters[slot]
+            if count <= room or level == len(LEVEL_BITS) - 1:
+                counters[slot] = min(saturation, counters[slot] + count)
+                return
+            counters[slot] = saturation
+            count -= room
+            index //= self.fanout
+
+    def _row_query(self, row: int, flow_id: int) -> int:
+        index = self._hashes[row](flow_id)
+        total = 0
+        for level in range(len(LEVEL_BITS)):
+            width = self._widths[row][level]
+            slot = index % width
+            value = self._levels[row][level][slot]
+            saturation = self._saturation(level)
+            if value < saturation or level == len(LEVEL_BITS) - 1:
+                return total + value
+            total += value
+            index //= self.fanout
+        return total
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        for row in range(self.depth):
+            self._row_insert(row, flow_id, count)
+        estimate = self._sketch_query(flow_id)
+        if flow_id in self._topk:
+            self._topk[flow_id] = estimate
+        elif len(self._topk) < self.topk_capacity:
+            self._topk[flow_id] = estimate
+        else:
+            smallest_flow = min(self._topk, key=self._topk.get)
+            if estimate > self._topk[smallest_flow]:
+                del self._topk[smallest_flow]
+                self._topk[flow_id] = estimate
+
+    def _sketch_query(self, flow_id: int) -> int:
+        return min(self._row_query(row, flow_id) for row in range(self.depth))
+
+    def query(self, flow_id: int) -> int:
+        if flow_id in self._topk:
+            return self._topk[flow_id]
+        return self._sketch_query(flow_id)
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {f: est for f, est in self._topk.items() if est >= threshold}
+
+    def leaf_counters_view(self, row: int = 0) -> List[int]:
+        """Leaf-level counters (used for distribution / cardinality estimates)."""
+        return list(self._levels[row][0])

@@ -1,0 +1,111 @@
+"""Seeded pairwise-independent hash families.
+
+Every sketch in this package locates counters with hash functions of the form
+``h(x) = ((a * x + b) mod P) mod m`` where ``P`` is a large prime and ``a``,
+``b`` are drawn uniformly at random.  This family is pairwise independent,
+which is the assumption made by the analyses of FermatSketch, TowerSketch,
+Count-Min, and the other sketches reproduced here.
+
+The hashes are deterministic for a given seed so that experiments are
+reproducible and so that two sketches built with the same seed are structurally
+compatible (a requirement for FermatSketch addition/subtraction).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+# A Mersenne prime comfortably larger than any 64-bit key yet cheap to reduce.
+_MERSENNE_PRIME_89 = (1 << 89) - 1
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """A single pairwise-independent hash function onto ``[0, range_size)``."""
+
+    a: int
+    b: int
+    range_size: int
+    prime: int = _MERSENNE_PRIME_89
+
+    def __call__(self, key: int) -> int:
+        if self.range_size <= 0:
+            raise ValueError("hash range must be positive")
+        return ((self.a * key + self.b) % self.prime) % self.range_size
+
+    def with_range(self, range_size: int) -> "PairwiseHash":
+        """Return the same hash coefficients mapped onto a new range."""
+        return PairwiseHash(self.a, self.b, range_size, self.prime)
+
+
+class HashFamily:
+    """A reproducible family of pairwise-independent hash functions.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying PRNG.  Two families built with the same seed
+        produce identical hash functions in the same order.
+    prime:
+        Prime modulus of the family.  Must exceed every key that will be
+        hashed; the default covers 64-bit keys with a wide margin.
+    """
+
+    def __init__(self, seed: int = 0, prime: int = _MERSENNE_PRIME_89) -> None:
+        if prime <= 1:
+            raise ValueError("prime must be > 1")
+        self._seed = seed
+        self._prime = prime
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def prime(self) -> int:
+        return self._prime
+
+    def draw(self, range_size: int) -> PairwiseHash:
+        """Draw the next hash function of the family onto ``[0, range_size)``."""
+        if range_size <= 0:
+            raise ValueError("hash range must be positive")
+        a = self._rng.randrange(1, self._prime)
+        b = self._rng.randrange(0, self._prime)
+        return PairwiseHash(a, b, range_size, self._prime)
+
+    def draw_many(self, count: int, range_size: int) -> list[PairwiseHash]:
+        """Draw ``count`` independent hash functions with the same range."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.draw(range_size) for _ in range(count)]
+
+
+def fold_key(parts: Iterable[int], widths: Sequence[int]) -> int:
+    """Pack integer fields into a single integer key.
+
+    ``parts`` and ``widths`` are matched positionally; each part must fit in
+    its declared bit width.  Used to build packed 5-tuple flow IDs.
+    """
+    parts = list(parts)
+    if len(parts) != len(widths):
+        raise ValueError("parts and widths must have the same length")
+    key = 0
+    for value, width in zip(parts, widths):
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        key = (key << width) | value
+    return key
+
+
+def unfold_key(key: int, widths: Sequence[int]) -> tuple[int, ...]:
+    """Inverse of :func:`fold_key`: split a packed key back into its fields."""
+    parts: list[int] = []
+    for width in reversed(widths):
+        parts.append(key & ((1 << width) - 1))
+        key >>= width
+    if key:
+        raise ValueError("key has more bits than the declared widths")
+    return tuple(reversed(parts))

@@ -1,0 +1,96 @@
+"""HashPipe baseline (Sivaraman et al., SOSR 2017).
+
+HashPipe tracks heavy hitters entirely in the data plane with a pipeline of
+hash tables.  The first stage always inserts the incoming flow (evicting the
+resident entry); later stages compare counts and keep the larger flow,
+carrying the smaller one forward.  Flows that fall off the last stage are
+dropped, so HashPipe is a pure heavy-hitter structure (small flows are not
+queryable), exactly how it is compared in Figure 11(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .hashing import HashFamily, PairwiseHash
+
+#: Each slot stores a 32-bit flow ID and a 32-bit counter.
+SLOT_BYTES = 8
+
+
+@dataclass
+class _Slot:
+    flow_id: Optional[int] = None
+    count: int = 0
+
+
+class HashPipe(HeavyHitterSketch, FrequencySketch):
+    """HashPipe with ``num_stages`` pipelined hash tables."""
+
+    def __init__(self, slots_per_stage: int, num_stages: int = 6, seed: int = 0) -> None:
+        if slots_per_stage <= 0 or num_stages <= 0:
+            raise ValueError("HashPipe sizes must be positive")
+        self.slots_per_stage = slots_per_stage
+        self.num_stages = num_stages
+        family = HashFamily(seed)
+        self._hashes: List[PairwiseHash] = family.draw_many(num_stages, slots_per_stage)
+        self._stages: List[List[_Slot]] = [
+            [_Slot() for _ in range(slots_per_stage)] for _ in range(num_stages)
+        ]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, num_stages: int = 6, seed: int = 0) -> "HashPipe":
+        slots = max(1, memory_bytes // (num_stages * SLOT_BYTES))
+        return cls(slots, num_stages, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return self.num_stages * self.slots_per_stage * SLOT_BYTES
+
+    # ------------------------------------------------------------------ #
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        carried_flow: Optional[int] = flow_id
+        carried_count = count
+
+        # Stage 0: always insert, evicting whatever was resident.
+        slot = self._stages[0][self._hashes[0](carried_flow)]
+        if slot.flow_id == carried_flow:
+            slot.count += carried_count
+            return
+        evicted_flow, evicted_count = slot.flow_id, slot.count
+        slot.flow_id, slot.count = carried_flow, carried_count
+        carried_flow, carried_count = evicted_flow, evicted_count
+        if carried_flow is None:
+            return
+
+        # Later stages: keep the larger of (resident, carried).
+        for stage_index in range(1, self.num_stages):
+            slot = self._stages[stage_index][self._hashes[stage_index](carried_flow)]
+            if slot.flow_id == carried_flow:
+                slot.count += carried_count
+                return
+            if slot.flow_id is None:
+                slot.flow_id, slot.count = carried_flow, carried_count
+                return
+            if slot.count < carried_count:
+                slot.flow_id, carried_flow = carried_flow, slot.flow_id
+                slot.count, carried_count = carried_count, slot.count
+        # The smallest surviving flow is dropped (HashPipe's design).
+
+    def query(self, flow_id: int) -> int:
+        total = 0
+        for stage_index in range(self.num_stages):
+            slot = self._stages[stage_index][self._hashes[stage_index](flow_id)]
+            if slot.flow_id == flow_id:
+                total += slot.count
+        return total
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        estimates: Dict[int, int] = {}
+        for stage in self._stages:
+            for slot in stage:
+                if slot.flow_id is None:
+                    continue
+                estimates[slot.flow_id] = estimates.get(slot.flow_id, 0) + slot.count
+        return {f: c for f, c in estimates.items() if c >= threshold}

@@ -1,0 +1,131 @@
+"""LossRadar baseline (Li et al., CoNEXT 2016).
+
+LossRadar detects lost packets with an Invertible Bloom Filter over *packets*:
+each packet (flow ID plus a per-flow sequence number) is XORed into ``k``
+cells upstream and downstream of a link/segment.  Subtracting the two IBFs
+leaves exactly the lost packets, which are recovered by peeling cells whose
+count is 1.  Memory therefore scales with the number of lost *packets*, which
+is the behaviour ChameleMon's Figures 4–6 contrast with FermatSketch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from .base import DecodeResult, InvertibleSketch
+from .hashing import HashFamily, PairwiseHash
+
+#: Paper configuration: 32-bit count + 48-bit xorSum (32-bit flow ID and
+#: 16-bit per-packet sequence number).
+CELL_BYTES = 10
+SEQUENCE_BITS = 16
+
+
+class LossRadar(InvertibleSketch):
+    """A LossRadar meter: an invertible Bloom filter over packet identifiers."""
+
+    def __init__(self, num_cells: int, num_hashes: int = 3, seed: int = 0) -> None:
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        num_cells = max(num_cells, num_hashes)
+        self.num_cells = num_cells
+        self.num_hashes = num_hashes
+        # Partitioned hashing: each hash owns a slice of the table so that a
+        # packet never maps twice into the same cell.
+        family = HashFamily(seed)
+        self._partition = num_cells // num_hashes
+        self._hashes: List[PairwiseHash] = family.draw_many(num_hashes, self._partition)
+        self._count: List[int] = [0] * num_cells
+        self._xorsum: List[int] = [0] * num_cells
+
+    def _cells_for(self, identifier: int) -> List[int]:
+        return [
+            index * self._partition + h(identifier)
+            for index, h in enumerate(self._hashes)
+        ]
+
+    @classmethod
+    def for_memory(cls, memory_bytes: int, seed: int = 0, **kwargs) -> "LossRadar":
+        return cls(max(1, memory_bytes // CELL_BYTES), seed=seed, **kwargs)
+
+    def memory_bytes(self) -> int:
+        return self.num_cells * CELL_BYTES
+
+    @staticmethod
+    def packet_identifier(flow_id: int, sequence: int) -> int:
+        """Pack a flow ID and a per-flow sequence number into one identifier."""
+        return (flow_id << SEQUENCE_BITS) | (sequence & ((1 << SEQUENCE_BITS) - 1))
+
+    @staticmethod
+    def split_identifier(identifier: int) -> Tuple[int, int]:
+        return identifier >> SEQUENCE_BITS, identifier & ((1 << SEQUENCE_BITS) - 1)
+
+    # ------------------------------------------------------------------ #
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        """Insert ``count`` consecutive packets of ``flow_id`` starting at seq 0."""
+        for sequence in range(count):
+            self.insert_packet(flow_id, sequence)
+
+    def insert_packet(self, flow_id: int, sequence: int) -> None:
+        """Insert a single packet identified by ``(flow_id, sequence)``."""
+        identifier = self.packet_identifier(flow_id, sequence)
+        for j in self._cells_for(identifier):
+            self._count[j] += 1
+            self._xorsum[j] ^= identifier
+
+    def subtract(self, other: "LossRadar") -> "LossRadar":
+        """In-place subtraction; the result encodes packets seen here but not there."""
+        if (
+            self.num_cells != other.num_cells
+            or self.num_hashes != other.num_hashes
+        ):
+            raise ValueError("LossRadar instances must share geometry to be subtracted")
+        for j in range(self.num_cells):
+            self._count[j] -= other._count[j]
+            self._xorsum[j] ^= other._xorsum[j]
+        return self
+
+    def copy(self) -> "LossRadar":
+        clone = LossRadar.__new__(LossRadar)
+        clone.num_cells = self.num_cells
+        clone.num_hashes = self.num_hashes
+        clone._partition = self._partition
+        clone._hashes = self._hashes
+        clone._count = list(self._count)
+        clone._xorsum = list(self._xorsum)
+        return clone
+
+    def __sub__(self, other: "LossRadar") -> "LossRadar":
+        return self.copy().subtract(other)
+
+    # ------------------------------------------------------------------ #
+    def decode(self) -> DecodeResult:
+        """Peel the IBF and aggregate recovered packets per flow."""
+        count = list(self._count)
+        xorsum = list(self._xorsum)
+        queue: deque[int] = deque(j for j in range(self.num_cells) if count[j] == 1)
+        flows: Dict[int, int] = {}
+        while queue:
+            j = queue.popleft()
+            if count[j] != 1:
+                continue
+            identifier = xorsum[j]
+            flow_id, _sequence = self.split_identifier(identifier)
+            flows[flow_id] = flows.get(flow_id, 0) + 1
+            for k in self._cells_for(identifier):
+                count[k] -= 1
+                xorsum[k] ^= identifier
+                if count[k] == 1:
+                    queue.append(k)
+        remaining = sum(1 for j in range(self.num_cells) if count[j] != 0)
+        return DecodeResult(flows=flows, success=remaining == 0, remaining=remaining)
+
+
+def lossradar_loss_detection(
+    upstream: LossRadar, downstream: LossRadar
+) -> Tuple[Dict[int, int], bool]:
+    """Per-flow loss counts from an upstream/downstream LossRadar pair."""
+    delta = upstream - downstream
+    result = delta.decode()
+    return result.flows, result.success

@@ -1,0 +1,163 @@
+"""TowerSketch — the flow classifier of ChameleMon (paper section 3.2.1).
+
+TowerSketch is a multi-resolution Count-Min-style sketch: it keeps ``l``
+counter arrays of equal *memory* but different counter widths.  Narrow
+counters are plentiful (catching the many small flows cheaply) while wide
+counters are few but never overflow for realistic flow sizes.  A counter that
+reaches its maximum value saturates and is treated as ``+inf`` when queried,
+so the estimate for a flow is the minimum of its non-saturated counters.
+
+ChameleMon uses a two-array TowerSketch (8-bit and 16-bit counters) in the
+ingress pipeline of each edge switch to classify every flow into the
+HH-candidate / HL-candidate / LL-candidate hierarchies, and the control plane
+additionally mines it for cardinality (linear counting on the widest array),
+flow-size distribution (MRAC per array), and entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .base import FrequencySketch
+from .hashing import HashFamily, PairwiseHash
+
+
+@dataclass(frozen=True)
+class TowerLevel:
+    """One counter array of a TowerSketch."""
+
+    counter_bits: int
+    num_counters: int
+
+    @property
+    def saturation(self) -> int:
+        """Value representing an overflowed (``+inf``) counter."""
+        return (1 << self.counter_bits) - 1
+
+    def memory_bytes(self) -> int:
+        return (self.counter_bits * self.num_counters + 7) // 8
+
+
+class TowerSketch(FrequencySketch):
+    """TowerSketch with arbitrary per-level counter widths.
+
+    Parameters
+    ----------
+    levels:
+        Sequence of ``(counter_bits, num_counters)`` pairs.  The paper's
+        deployment uses ``[(8, 32768), (16, 16384)]`` — equal memory per level.
+    seed:
+        Hash seed; one pairwise-independent hash per level.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[Tuple[int, int]] = ((8, 32768), (16, 16384)),
+        seed: int = 0,
+    ) -> None:
+        if not levels:
+            raise ValueError("TowerSketch needs at least one counter array")
+        self.levels: List[TowerLevel] = []
+        for bits, width in levels:
+            if bits < 2 or bits > 64:
+                raise ValueError("counter width must be between 2 and 64 bits")
+            if width <= 0:
+                raise ValueError("each level needs a positive number of counters")
+            self.levels.append(TowerLevel(bits, width))
+        family = HashFamily(seed)
+        self._hashes: List[PairwiseHash] = [
+            family.draw(level.num_counters) for level in self.levels
+        ]
+        self._counters: List[List[int]] = [
+            [0] * level.num_counters for level in self.levels
+        ]
+        self._seed = seed
+
+    @classmethod
+    def chamelemon_default(cls, scale: float = 1.0, seed: int = 0) -> "TowerSketch":
+        """The classifier configuration used on the testbed, optionally scaled."""
+        w8 = max(8, int(32768 * scale))
+        w16 = max(4, int(16384 * scale))
+        return cls([(8, w8), (16, w16)], seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def memory_bytes(self) -> int:
+        return sum(level.memory_bytes() for level in self.levels)
+
+    def insert(self, flow_id: int, count: int = 1) -> int:
+        """Insert ``count`` packets and return the post-insert size estimate.
+
+        Returning the estimate mirrors the data-plane behaviour: the switch
+        both updates the classifier and reads back the flow size to pick the
+        hierarchy of the packet in the same pass.
+        """
+        if count < 0:
+            raise ValueError("TowerSketch counters cannot be decremented")
+        estimate = None
+        for level, h, counters in zip(self.levels, self._hashes, self._counters):
+            j = h(flow_id)
+            value = min(counters[j] + count, level.saturation)
+            counters[j] = value
+            if value < level.saturation:
+                estimate = value if estimate is None else min(estimate, value)
+        if estimate is None:
+            # Every mapped counter saturated; report the largest saturation
+            # value, which the classifier treats as "very large flow".
+            estimate = max(level.saturation for level in self.levels)
+        return estimate
+
+    def query(self, flow_id: int) -> int:
+        """Estimated size of ``flow_id`` (minimum over non-saturated counters)."""
+        estimate = None
+        for level, h, counters in zip(self.levels, self._hashes, self._counters):
+            value = counters[h(flow_id)]
+            if value < level.saturation:
+                estimate = value if estimate is None else min(estimate, value)
+        if estimate is None:
+            estimate = max(level.saturation for level in self.levels)
+        return estimate
+
+    # ------------------------------------------------------------------ #
+    # control-plane views
+    # ------------------------------------------------------------------ #
+    def counter_array(self, level_index: int) -> List[int]:
+        """Raw counters of one level (used by linear counting / MRAC)."""
+        return list(self._counters[level_index])
+
+    def widest_array(self) -> List[int]:
+        """Counters of the level with the most counters (for linear counting).
+
+        The paper applies linear counting to the array with the most counters,
+        which is the narrowest-counter array.
+        """
+        index = max(
+            range(len(self.levels)), key=lambda i: self.levels[i].num_counters
+        )
+        return self.counter_array(index)
+
+    def level_saturation(self, level_index: int) -> int:
+        return self.levels[level_index].saturation
+
+    def reset(self) -> None:
+        """Zero every counter (epoch rotation re-uses the structure)."""
+        for counters in self._counters:
+            for j in range(len(counters)):
+                counters[j] = 0
+
+    def copy(self) -> "TowerSketch":
+        clone = TowerSketch(
+            [(level.counter_bits, level.num_counters) for level in self.levels],
+            seed=self._seed,
+        )
+        clone._counters = [list(row) for row in self._counters]
+        return clone
+
+    def heavy_flows(self, candidate_ids: Sequence[int], threshold: int) -> Dict[int, int]:
+        """Filter ``candidate_ids`` down to those estimated at or above ``threshold``."""
+        result: Dict[int, int] = {}
+        for flow_id in candidate_ids:
+            size = self.query(flow_id)
+            if size >= threshold:
+                result[flow_id] = size
+        return result

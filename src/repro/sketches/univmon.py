@@ -1,0 +1,121 @@
+"""UnivMon baseline (Liu et al., SIGCOMM 2016).
+
+UnivMon achieves universal streaming: packets are sub-sampled into ``L``
+levels (level ``i`` sees a flow with probability ``2^-i``), each level runs a
+Count sketch plus a top-k table, and any G-sum statistic (heavy hitters,
+entropy, cardinality, ...) is recovered by combining the per-level top-k
+estimates bottom-up with the standard recursive unbiased estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from .base import FrequencySketch, HeavyHitterSketch
+from .countsketch import CountSketch
+from .hashing import HashFamily, PairwiseHash
+
+TOPK_ENTRY_BYTES = 8
+
+
+class UnivMon(HeavyHitterSketch, FrequencySketch):
+    """UnivMon with ``num_levels`` Count-sketch levels and per-level top-k."""
+
+    def __init__(
+        self,
+        width: int,
+        num_levels: int = 14,
+        depth: int = 3,
+        topk: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or num_levels <= 0 or topk <= 0:
+            raise ValueError("UnivMon sizes must be positive")
+        self.num_levels = num_levels
+        self.topk = topk
+        family = HashFamily(seed)
+        # Level-membership hashes: flow reaches level i when the first i
+        # sampling bits are all zero.
+        self._level_hashes: List[PairwiseHash] = family.draw_many(num_levels - 1, 2)
+        self._sketches: List[CountSketch] = [
+            CountSketch(width, depth, seed=seed + 17 * (level + 1))
+            for level in range(num_levels)
+        ]
+        self._heavy: List[Dict[int, int]] = [{} for _ in range(num_levels)]
+
+    @classmethod
+    def for_memory(
+        cls, memory_bytes: int, num_levels: int = 14, depth: int = 3, topk: int = 1000, seed: int = 0
+    ) -> "UnivMon":
+        heap_bytes = num_levels * topk * TOPK_ENTRY_BYTES
+        sketch_bytes = max(num_levels * depth * 4, memory_bytes - heap_bytes)
+        width = max(1, sketch_bytes // (num_levels * depth * 4))
+        return cls(width, num_levels, depth, topk, seed=seed)
+
+    def memory_bytes(self) -> int:
+        return (
+            sum(sketch.memory_bytes() for sketch in self._sketches)
+            + self.num_levels * self.topk * TOPK_ENTRY_BYTES
+        )
+
+    # ------------------------------------------------------------------ #
+    def _max_level(self, flow_id: int) -> int:
+        """Deepest level this flow is sampled into (level 0 sees everything)."""
+        level = 0
+        for h in self._level_hashes:
+            if h(flow_id) != 0:
+                break
+            level += 1
+        return level
+
+    def insert(self, flow_id: int, count: int = 1) -> None:
+        deepest = self._max_level(flow_id)
+        for level in range(deepest + 1):
+            sketch = self._sketches[level]
+            sketch.insert(flow_id, count)
+            heavy = self._heavy[level]
+            estimate = sketch.query(flow_id)
+            if flow_id in heavy or len(heavy) < self.topk:
+                heavy[flow_id] = estimate
+            else:
+                smallest = min(heavy, key=heavy.get)
+                if estimate > heavy[smallest]:
+                    del heavy[smallest]
+                    heavy[flow_id] = estimate
+
+    def query(self, flow_id: int) -> int:
+        return max(0, self._sketches[0].query(flow_id))
+
+    def heavy_hitters(self, threshold: int) -> Dict[int, int]:
+        return {f: est for f, est in self._heavy[0].items() if est >= threshold}
+
+    # ------------------------------------------------------------------ #
+    def g_sum(self, g) -> float:
+        """Recursive universal-sketch estimator of ``sum_f g(size_f)``."""
+        estimate = 0.0
+        for level in range(self.num_levels - 1, -1, -1):
+            level_sum = sum(
+                g(max(1, size)) for size in self._heavy[level].values()
+            )
+            if level == self.num_levels - 1:
+                estimate = level_sum
+            else:
+                next_heavy = self._heavy[level + 1]
+                correction = sum(
+                    g(max(1, size))
+                    for flow, size in self._heavy[level].items()
+                    if flow in next_heavy
+                )
+                estimate = 2 * estimate + level_sum - 2 * correction
+        return max(0.0, estimate)
+
+    def cardinality(self) -> float:
+        return self.g_sum(lambda size: 1.0)
+
+    def entropy(self) -> float:
+        total = self.g_sum(lambda size: float(size))
+        if total <= 0:
+            return 0.0
+        sum_x_log_x = self.g_sum(lambda size: size * math.log2(size) if size > 0 else 0.0)
+        return math.log2(total) - sum_x_log_x / total

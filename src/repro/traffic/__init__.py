@@ -1,0 +1,39 @@
+"""Workload generation: flow records, flow-size distributions, trace synthesis."""
+
+from .distributions import (
+    WORKLOAD_NAMES,
+    FlowSizeDistribution,
+    empirical_cdf,
+    get_distribution,
+    zipf_sizes,
+)
+from .flow import FIVE_TUPLE_WIDTHS, FlowKey, FlowRecord, Packet, Trace
+from .generator import (
+    generate_caida_like_trace,
+    generate_workload,
+    ground_truth_heavy_changes,
+    ground_truth_heavy_hitters,
+    largest_flows,
+    make_flow_id,
+    restrict_to_flows,
+)
+
+__all__ = [
+    "FIVE_TUPLE_WIDTHS",
+    "FlowKey",
+    "FlowRecord",
+    "FlowSizeDistribution",
+    "Packet",
+    "Trace",
+    "WORKLOAD_NAMES",
+    "empirical_cdf",
+    "generate_caida_like_trace",
+    "generate_workload",
+    "get_distribution",
+    "ground_truth_heavy_changes",
+    "ground_truth_heavy_hitters",
+    "largest_flows",
+    "make_flow_id",
+    "restrict_to_flows",
+    "zipf_sizes",
+]

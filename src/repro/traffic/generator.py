@@ -1,0 +1,193 @@
+"""Workload generation: flows, victim selection, and loss assignment.
+
+Two generators cover the paper's two evaluation settings:
+
+* :func:`generate_caida_like_trace` — the CPU experiments (Figures 4–6, 10,
+  11) use a CAIDA 2018 slice with 32-bit source-IP flow IDs; we synthesise a
+  Zipf-skewed equivalent.
+* :func:`generate_workload` — the testbed experiments (Figures 7–9, 14–19) use
+  UDP flows drawn from the DCTCP / VL2 / HADOOP / CACHE distributions, with
+  source/destination hosts chosen uniformly among 8 servers and a controlled
+  set of victim flows whose packets are dropped at a configured loss rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .distributions import FlowSizeDistribution, get_distribution, zipf_sizes
+from .flow import FlowKey, FlowRecord, Trace
+
+
+def _binomial_losses(size: int, loss_rate: float, rng: random.Random) -> int:
+    """Number of lost packets of a flow of ``size`` packets at ``loss_rate``.
+
+    At least one packet is lost for a designated victim flow so that every
+    victim is observable, matching the testbed's proactive ECN-drop control.
+    """
+    if loss_rate <= 0 or size <= 0:
+        return 0
+    losses = sum(1 for _ in range(size) if rng.random() < loss_rate)
+    return max(1, min(size, losses))
+
+
+def _assign_hosts(rng: random.Random, num_hosts: int) -> tuple[int, int]:
+    src = rng.randrange(num_hosts)
+    dst = rng.randrange(num_hosts)
+    while dst == src and num_hosts > 1:
+        dst = rng.randrange(num_hosts)
+    return src, dst
+
+
+def make_flow_id(index: int, seed: int = 0) -> int:
+    """A deterministic synthetic 32-bit flow identifier (source-IP style)."""
+    rng = random.Random((seed << 32) ^ index)
+    return rng.randrange(1, 1 << 32)
+
+
+def generate_caida_like_trace(
+    num_flows: int,
+    total_packets: Optional[int] = None,
+    victim_flows: int = 0,
+    loss_rate: float = 0.01,
+    victim_selection: str = "largest",
+    alpha: float = 1.1,
+    seed: int = 0,
+) -> Trace:
+    """Synthesise a CAIDA-like trace with 32-bit flow IDs.
+
+    Parameters
+    ----------
+    num_flows:
+        Number of distinct flows.
+    total_packets:
+        Total packets across all flows (defaults to ``53 * num_flows``,
+        matching the CAIDA slice's mean flow size).
+    victim_flows:
+        How many flows experience packet losses.
+    loss_rate:
+        Per-packet loss probability of each victim flow.
+    victim_selection:
+        ``"largest"`` (the paper marks the largest flows as victims) or
+        ``"random"``.
+    """
+    if num_flows <= 0:
+        raise ValueError("num_flows must be positive")
+    if victim_flows < 0 or victim_flows > num_flows:
+        raise ValueError("victim_flows must be between 0 and num_flows")
+    rng = random.Random(seed)
+    sizes = zipf_sizes(num_flows, alpha=alpha, total_packets=total_packets, rng=rng)
+    flows = [
+        FlowRecord(flow_id=make_flow_id(index, seed), size=size)
+        for index, size in enumerate(sizes)
+    ]
+    _mark_victims(flows, victim_flows, loss_rate, victim_selection, rng)
+    return Trace(flows=flows)
+
+
+def generate_workload(
+    workload: str | FlowSizeDistribution,
+    num_flows: int,
+    victim_ratio: float = 0.0,
+    loss_rate: float = 0.05,
+    num_hosts: int = 8,
+    victim_selection: str = "random",
+    seed: int = 0,
+    use_five_tuple: bool = True,
+) -> Trace:
+    """Generate a testbed-style workload from a named distribution.
+
+    Flows get 5-tuple IDs (104-bit packed) by default, mirroring the testbed;
+    source and destination hosts are chosen uniformly so every server sends and
+    receives roughly the same number of flows.
+    """
+    if num_flows <= 0:
+        raise ValueError("num_flows must be positive")
+    if not 0.0 <= victim_ratio <= 1.0:
+        raise ValueError("victim_ratio must be in [0, 1]")
+    distribution = (
+        workload if isinstance(workload, FlowSizeDistribution) else get_distribution(workload)
+    )
+    rng = random.Random(seed)
+    flows: List[FlowRecord] = []
+    used_ids: set[int] = set()
+    for index in range(num_flows):
+        size = distribution.sample(rng)
+        src, dst = _assign_hosts(rng, num_hosts)
+        flow_id = _unique_flow_id(rng, used_ids, src, dst, use_five_tuple)
+        flows.append(FlowRecord(flow_id=flow_id, size=size, src_host=src, dst_host=dst))
+    victim_count = int(round(victim_ratio * num_flows))
+    _mark_victims(flows, victim_count, loss_rate, victim_selection, rng)
+    return Trace(flows=flows)
+
+
+def _unique_flow_id(
+    rng: random.Random, used: set[int], src: int, dst: int, use_five_tuple: bool
+) -> int:
+    while True:
+        if use_five_tuple:
+            key = FlowKey(
+                src_ip=(10 << 24) | (src << 8) | rng.randrange(1, 255),
+                dst_ip=(10 << 24) | (dst << 8) | rng.randrange(1, 255),
+                src_port=rng.randrange(1024, 65536),
+                dst_port=rng.randrange(1024, 65536),
+                protocol=17,
+            ).packed()
+        else:
+            key = rng.randrange(1, 1 << 32)
+        if key not in used:
+            used.add(key)
+            return key
+
+
+def _mark_victims(
+    flows: List[FlowRecord],
+    victim_count: int,
+    loss_rate: float,
+    victim_selection: str,
+    rng: random.Random,
+) -> None:
+    if victim_count <= 0:
+        return
+    if victim_selection == "largest":
+        chosen = sorted(range(len(flows)), key=lambda i: flows[i].size, reverse=True)
+        chosen = chosen[:victim_count]
+    elif victim_selection == "random":
+        chosen = rng.sample(range(len(flows)), victim_count)
+    else:
+        raise ValueError("victim_selection must be 'largest' or 'random'")
+    for index in chosen:
+        flow = flows[index]
+        flow.is_victim = True
+        flow.loss_rate = loss_rate
+        flow.lost_packets = _binomial_losses(flow.size, loss_rate, rng)
+
+
+def largest_flows(trace: Trace, count: int) -> List[FlowRecord]:
+    """The ``count`` largest flows of a trace (paper: 'the largest 10K flows')."""
+    return sorted(trace.flows, key=lambda flow: flow.size, reverse=True)[:count]
+
+
+def restrict_to_flows(trace: Trace, flows: Sequence[FlowRecord]) -> Trace:
+    """A new trace containing only the given flows."""
+    return Trace(flows=list(flows))
+
+
+def ground_truth_heavy_hitters(trace: Trace, threshold: int) -> Dict[int, int]:
+    """Ground-truth heavy hitters: flows whose size is at least ``threshold``."""
+    return {flow.flow_id: flow.size for flow in trace.flows if flow.size >= threshold}
+
+
+def ground_truth_heavy_changes(
+    first: Trace, second: Trace, threshold: int
+) -> Dict[int, int]:
+    """Flows whose size changes by at least ``threshold`` between two traces."""
+    sizes_a = first.flow_sizes()
+    sizes_b = second.flow_sizes()
+    changes: Dict[int, int] = {}
+    for flow_id in set(sizes_a) | set(sizes_b):
+        delta = abs(sizes_a.get(flow_id, 0) - sizes_b.get(flow_id, 0))
+        if delta >= threshold:
+            changes[flow_id] = delta
+    return changes

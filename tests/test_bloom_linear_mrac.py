@@ -1,0 +1,119 @@
+"""Tests for the Bloom filter, linear counting, and MRAC substrates."""
+
+import random
+
+import pytest
+
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.linear_counting import (
+    estimate_cardinality,
+    linear_counting_estimate,
+)
+from repro.sketches.mrac import (
+    counter_value_histogram,
+    distribution_entropy,
+    estimate_flow_size_distribution,
+    merge_distributions,
+)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01, seed=1)
+        keys = list(range(1000))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01, seed=2)
+        for key in range(1000):
+            bloom.add(key)
+        false_positives = sum(1 for key in range(10_000, 20_000) if key in bloom)
+        assert false_positives < 500  # well below 5 %
+
+    def test_add_if_new(self):
+        bloom = BloomFilter.for_capacity(100, seed=3)
+        assert bloom.add_if_new(42) is True
+        assert bloom.add_if_new(42) is False
+
+    def test_fill_ratio_and_clear(self):
+        bloom = BloomFilter(1024, 4, seed=4)
+        assert bloom.fill_ratio() == 0.0
+        for key in range(100):
+            bloom.add(key)
+        assert bloom.fill_ratio() > 0.0
+        bloom.clear()
+        assert bloom.fill_ratio() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, 1.5)
+
+    def test_memory_bytes(self):
+        assert BloomFilter(800, 3).memory_bytes() == 100
+
+
+class TestLinearCounting:
+    def test_exact_when_sparse(self):
+        assert linear_counting_estimate(1000, 1000) == 0.0
+
+    def test_estimate_close_to_truth(self):
+        rng = random.Random(5)
+        slots = [0] * 4096
+        distinct = 1500
+        for key in range(distinct):
+            slots[rng.randrange(4096)] += 1
+        estimate = estimate_cardinality(slots)
+        assert abs(estimate - distinct) / distinct < 0.1
+
+    def test_saturated_returns_upper_bound(self):
+        estimate = linear_counting_estimate(16, 0)
+        assert estimate > 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_counting_estimate(0, 0)
+        with pytest.raises(ValueError):
+            linear_counting_estimate(10, 11)
+
+
+class TestMRAC:
+    def test_histogram_skips_zero_and_saturated(self):
+        histogram = counter_value_histogram([0, 1, 1, 2, 255], max_value=255)
+        assert histogram == {1: 2, 2: 1}
+
+    def test_distribution_recovers_sparse_counters(self):
+        # With few collisions the distribution should be close to the truth.
+        rng = random.Random(6)
+        counters = [0] * 8192
+        truth = {1: 600, 2: 250, 5: 100, 20: 30}
+        for size, flows in truth.items():
+            for _ in range(flows):
+                counters[rng.randrange(8192)] += size
+        estimate = estimate_flow_size_distribution(counters, iterations=5)
+        for size, flows in truth.items():
+            assert estimate.get(size, 0) == pytest.approx(flows, rel=0.35)
+
+    def test_empty_input(self):
+        assert estimate_flow_size_distribution([]) == {}
+        assert estimate_flow_size_distribution([0, 0, 0]) == {}
+
+    def test_merge_distributions(self):
+        merged = merge_distributions([{1: 2.0, 3: 1.0}, {1: 1.0, 5: 4.0}])
+        assert merged == {1: 3.0, 3: 1.0, 5: 4.0}
+
+    def test_entropy_of_uniform_sizes(self):
+        # All flows the same size: each flow contributes -size/N*log2(size/N)...
+        # entropy of {1: N} equals log2(N).
+        entropy = distribution_entropy({1: 16.0})
+        assert entropy == pytest.approx(4.0)
+
+    def test_entropy_empty(self):
+        assert distribution_entropy({}) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_command_has_help(self):
+        parser = build_parser()
+        for command in ("list", "fig4", "fig7", "fig8", "fig9", "fig11", "overheads", "demo"):
+            args = {
+                "list": [command],
+                "overheads": [command],
+            }.get(command, [command, "--seed", "1"])
+            parsed = parser.parse_args(args)
+            assert callable(parsed.handler)
+
+    def test_fig4_custom_arguments(self):
+        parsed = build_parser().parse_args(
+            ["fig4", "--flows", "500", "--victims", "50", "100", "--trials", "1"]
+        )
+        assert parsed.flows == 500
+        assert parsed.victims == [50, 100]
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "demo" in out
+
+    def test_overheads_runs(self, capsys):
+        assert main(["overheads", "--epochs-ms", "50", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Collection bandwidth" in out
+
+    def test_fig4_runs_small(self, capsys):
+        assert main(["fig4", "--flows", "300", "--victims", "40", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fermat KB" in out
+
+    def test_demo_runs_small(self, capsys):
+        assert main([
+            "demo", "--flows", "150", "--epochs", "2", "--scale", "0.05",
+            "--victim-ratio", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out and "epoch 1" in out

@@ -1,0 +1,85 @@
+"""Tests for the epoch/collection protocol model (appendix B)."""
+
+import pytest
+
+from repro.controlplane.collection import (
+    CollectionScheduler,
+    EpochClock,
+    group_in_use,
+    safe_to_collect,
+)
+from repro.controlplane.timing import CollectionModel, TOTAL_COLLECTION_MS
+from repro.dataplane.config import SwitchResources
+
+
+class TestEpochClock:
+    def test_timestamp_flips_every_epoch(self):
+        clock = EpochClock(epoch_length_ms=50)
+        assert clock.timestamp_at(0) == 0
+        assert clock.timestamp_at(49.9) == 0
+        assert clock.timestamp_at(50.1) == 1
+        assert clock.timestamp_at(100.1) == 0
+
+    def test_offset_shifts_the_flip(self):
+        clock = EpochClock(epoch_length_ms=50, offset_ms=5)
+        # Local time is 5 ms ahead: the flip happens 5 ms earlier in controller time.
+        assert clock.timestamp_at(44.9) == 0
+        assert clock.timestamp_at(45.1) == 1
+
+    def test_epoch_index(self):
+        clock = EpochClock(epoch_length_ms=50)
+        assert clock.epoch_index_at(0) == 0
+        assert clock.epoch_index_at(125) == 2
+
+    def test_next_flip(self):
+        clock = EpochClock(epoch_length_ms=50)
+        assert clock.next_flip_after(10) == 50
+        assert clock.next_flip_after(50.1) == 100
+
+    def test_group_in_use_alternates(self):
+        clock = EpochClock(epoch_length_ms=50)
+        assert group_in_use(clock, 10) == 0
+        assert group_in_use(clock, 60) == 1
+
+
+class TestCollectionScheduler:
+    def test_window_ordering(self):
+        scheduler = CollectionScheduler(epoch_length_ms=50, sync_guard_ms=1, drain_ms=10)
+        window = scheduler.window_for_epoch(3)
+        assert window.is_valid()
+        # The epoch ends at 200 ms; ingress readable after the guard, egress
+        # only after the drain, everything done before the next flip guard.
+        assert window.ingress_start_ms == pytest.approx(201)
+        assert window.egress_start_ms == pytest.approx(210)
+        assert window.end_ms == pytest.approx(249)
+
+    def test_testbed_collection_fits_50ms_epoch(self):
+        scheduler = CollectionScheduler(
+            epoch_length_ms=50, sync_guard_ms=1, drain_ms=10,
+            switch_offsets_ms=(0.3, -0.4, 0.5, -0.2),
+        )
+        model = CollectionModel(SwitchResources())
+        assert scheduler.is_feasible(model.collection_time_ms() - TOTAL_COLLECTION_MS + 5)
+
+    def test_infeasible_when_clock_error_exceeds_guard(self):
+        scheduler = CollectionScheduler(
+            epoch_length_ms=50, sync_guard_ms=1, drain_ms=10,
+            switch_offsets_ms=(5.0,),
+        )
+        assert not scheduler.is_feasible(1.0)
+
+    def test_minimum_epoch_length_monotone(self):
+        scheduler = CollectionScheduler(sync_guard_ms=1, drain_ms=10)
+        fast = scheduler.minimum_epoch_length_ms(2.0)
+        slow = scheduler.minimum_epoch_length_ms(20.0)
+        assert fast < slow
+        assert fast > 10  # must at least cover the drain + guards
+
+    def test_safe_to_collect_ingress_vs_egress(self):
+        scheduler = CollectionScheduler(epoch_length_ms=50, sync_guard_ms=1, drain_ms=10)
+        # 205 ms: epoch 3 has ended, in-flight packets have not drained yet.
+        assert safe_to_collect(scheduler, 3, 205, egress=False)
+        assert not safe_to_collect(scheduler, 3, 205, egress=True)
+        assert safe_to_collect(scheduler, 3, 215, egress=True)
+        # Too late: the next epoch of the same group is about to start.
+        assert not safe_to_collect(scheduler, 3, 249.5, egress=True)

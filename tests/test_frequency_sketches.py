@@ -1,0 +1,118 @@
+"""Tests for the packet-accumulation baselines: CM, CU, CountSketch/CountHeap."""
+
+import random
+
+import pytest
+
+from repro.sketches.cm import CountMinSketch, CUSketch
+from repro.sketches.countsketch import CountHeap, CountSketch
+
+
+def zipf_flows(count, seed=0):
+    rng = random.Random(seed)
+    return {flow: max(1, int(1000 / (rank + 1))) for rank, flow in enumerate(
+        rng.sample(range(1, 1 << 30), count)
+    )}
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        truth = zipf_flows(500, seed=1)
+        cm = CountMinSketch(width=2048, depth=3, seed=1)
+        for flow, size in truth.items():
+            cm.insert(flow, size)
+        assert all(cm.query(flow) >= size for flow, size in truth.items())
+
+    def test_exact_when_sparse(self):
+        cm = CountMinSketch(width=4096, depth=3, seed=2)
+        cm.insert(77, 13)
+        assert cm.query(77) == 13
+
+    def test_for_memory(self):
+        cm = CountMinSketch.for_memory(120_000, depth=3)
+        assert cm.memory_bytes() <= 120_000
+        assert cm.width == 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0)
+        with pytest.raises(ValueError):
+            CountMinSketch(10, 0)
+
+
+class TestCU:
+    def test_never_underestimates(self):
+        truth = zipf_flows(500, seed=3)
+        cu = CUSketch(width=2048, depth=3, seed=3)
+        for flow, size in truth.items():
+            cu.insert(flow, size)
+        assert all(cu.query(flow) >= size for flow, size in truth.items())
+
+    def test_tighter_than_cm(self):
+        truth = zipf_flows(2000, seed=4)
+        cm = CountMinSketch(width=1024, depth=3, seed=4)
+        cu = CUSketch(width=1024, depth=3, seed=4)
+        for flow, size in truth.items():
+            cm.insert(flow, size)
+            cu.insert(flow, size)
+        cm_error = sum(cm.query(flow) - size for flow, size in truth.items())
+        cu_error = sum(cu.query(flow) - size for flow, size in truth.items())
+        assert cu_error <= cm_error
+
+    def test_for_memory(self):
+        cu = CUSketch.for_memory(60_000)
+        assert cu.memory_bytes() <= 60_000
+
+
+class TestCountSketch:
+    def test_roughly_unbiased(self):
+        truth = zipf_flows(1000, seed=5)
+        cs = CountSketch(width=4096, depth=5, seed=5)
+        for flow, size in truth.items():
+            cs.insert(flow, size)
+        errors = [cs.query(flow) - size for flow, size in truth.items()]
+        mean_error = sum(errors) / len(errors)
+        assert abs(mean_error) < 20
+
+    def test_exact_when_sparse(self):
+        cs = CountSketch(width=4096, depth=3, seed=6)
+        cs.insert(42, 100)
+        assert cs.query(42) == 100
+
+    def test_query_clamps_to_zero(self):
+        cs = CountSketch(width=4, depth=3, seed=7)
+        for flow in range(100):
+            cs.insert(flow, 5)
+        assert cs.query(123456789) >= 0
+
+
+class TestCountHeap:
+    def test_tracks_heavy_hitters(self):
+        truth = zipf_flows(2000, seed=8)
+        heap = CountHeap(width=2048, depth=3, heap_capacity=64, seed=8)
+        for flow, size in truth.items():
+            heap.insert(flow, size)
+        top_truth = sorted(truth, key=truth.get, reverse=True)[:10]
+        reported = heap.heavy_hitters(threshold=50)
+        hits = sum(1 for flow in top_truth if flow in reported)
+        assert hits >= 7
+
+    def test_heap_capacity_respected(self):
+        heap = CountHeap(width=256, depth=3, heap_capacity=16, seed=9)
+        for flow in range(200):
+            heap.insert(flow, flow + 1)
+        assert len(heap._members) <= 16
+
+    def test_query_falls_back_to_sketch(self):
+        heap = CountHeap(width=1024, depth=3, heap_capacity=4, seed=10)
+        for flow in range(50):
+            heap.insert(flow, 10)
+        assert heap.query(3) >= 0
+
+    def test_for_memory(self):
+        heap = CountHeap.for_memory(200_000, heap_capacity=1000)
+        assert heap.memory_bytes() <= 210_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountHeap(16, heap_capacity=0)

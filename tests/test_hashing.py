@@ -1,0 +1,88 @@
+"""Tests for the pairwise-independent hash family and key packing."""
+
+import pytest
+
+from repro.sketches.hashing import HashFamily, PairwiseHash, fold_key, unfold_key
+
+
+class TestHashFamily:
+    def test_draw_range(self):
+        family = HashFamily(seed=1)
+        h = family.draw(100)
+        for key in range(1000):
+            assert 0 <= h(key) < 100
+
+    def test_deterministic_for_seed(self):
+        a = HashFamily(seed=7).draw_many(3, 50)
+        b = HashFamily(seed=7).draw_many(3, 50)
+        for ha, hb in zip(a, b):
+            for key in (0, 1, 12345, 2**32 - 1):
+                assert ha(key) == hb(key)
+
+    def test_different_seeds_differ(self):
+        a = HashFamily(seed=1).draw(1 << 20)
+        b = HashFamily(seed=2).draw(1 << 20)
+        collisions = sum(1 for key in range(200) if a(key) == b(key))
+        assert collisions < 10
+
+    def test_distribution_roughly_uniform(self):
+        h = HashFamily(seed=3).draw(10)
+        counts = [0] * 10
+        for key in range(10000):
+            counts[h(key)] += 1
+        assert min(counts) > 500
+        assert max(counts) < 1500
+
+    def test_invalid_range(self):
+        family = HashFamily(seed=0)
+        with pytest.raises(ValueError):
+            family.draw(0)
+
+    def test_invalid_prime(self):
+        with pytest.raises(ValueError):
+            HashFamily(seed=0, prime=1)
+
+    def test_draw_many_count(self):
+        family = HashFamily(seed=0)
+        assert len(family.draw_many(5, 8)) == 5
+        with pytest.raises(ValueError):
+            family.draw_many(-1, 8)
+
+    def test_with_range(self):
+        h = HashFamily(seed=0).draw(100)
+        h2 = h.with_range(10)
+        assert isinstance(h2, PairwiseHash)
+        assert 0 <= h2(12345) < 10
+
+    def test_zero_range_call(self):
+        h = PairwiseHash(a=3, b=5, range_size=0)
+        with pytest.raises(ValueError):
+            h(1)
+
+
+class TestKeyPacking:
+    def test_roundtrip(self):
+        widths = (32, 32, 16, 16, 8)
+        parts = (0x0A000001, 0x0A000002, 1234, 80, 6)
+        key = fold_key(parts, widths)
+        assert unfold_key(key, widths) == parts
+
+    def test_fold_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            fold_key((256,), (8,))
+
+    def test_fold_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fold_key((-1,), (8,))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fold_key((1, 2), (8,))
+
+    def test_unfold_rejects_extra_bits(self):
+        with pytest.raises(ValueError):
+            unfold_key(1 << 20, (8, 8))
+
+    def test_zero_key(self):
+        widths = (32, 32, 16, 16, 8)
+        assert unfold_key(fold_key((0, 0, 0, 0, 0), widths), widths) == (0, 0, 0, 0, 0)

@@ -1,0 +1,188 @@
+"""Tests for the heavy-hitter oriented baselines: Elastic, FCM, HashPipe, UnivMon, Coco."""
+
+import random
+
+import pytest
+
+from repro.sketches.coco import CocoSketch
+from repro.sketches.elastic import ElasticSketch
+from repro.sketches.fcm import FCMSketch
+from repro.sketches.hashpipe import HashPipe
+from repro.sketches.univmon import UnivMon
+
+
+def zipf_flows(count, seed=0, scale=2000):
+    rng = random.Random(seed)
+    return {
+        flow: max(1, int(scale / (rank + 1)))
+        for rank, flow in enumerate(rng.sample(range(1, 1 << 30), count))
+    }
+
+
+def recall_of_top(sketch, truth, top=10, threshold=50):
+    top_truth = sorted(truth, key=truth.get, reverse=True)[:top]
+    reported = sketch.heavy_hitters(threshold)
+    return sum(1 for flow in top_truth if flow in reported) / top
+
+
+class TestElasticSketch:
+    def test_finds_heavy_hitters(self):
+        truth = zipf_flows(2000, seed=1)
+        sketch = ElasticSketch(buckets_per_stage=512, num_stages=4, light_counters=4096, seed=1)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert recall_of_top(sketch, truth) >= 0.8
+
+    def test_small_flow_query_reasonable(self):
+        sketch = ElasticSketch(buckets_per_stage=256, num_stages=2, light_counters=8192, seed=2)
+        sketch.insert(5, 3)
+        assert 0 < sketch.query(5) <= 10
+
+    def test_same_flow_accumulates(self):
+        sketch = ElasticSketch(64, 2, 256, seed=3)
+        sketch.insert(9, 4)
+        sketch.insert(9, 6)
+        assert sketch.query(9) >= 10
+
+    def test_for_memory_budget(self):
+        sketch = ElasticSketch.for_memory(100_000)
+        assert sketch.memory_bytes() <= 110_000
+
+    def test_tracked_flows_and_light_view(self):
+        sketch = ElasticSketch(64, 2, 128, seed=4)
+        sketch.insert(1, 100)
+        assert 1 in sketch.tracked_flows()
+        assert len(sketch.light_counters_view()) == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(0, 1, 1)
+
+
+class TestFCMSketch:
+    def test_never_underestimates_much(self):
+        truth = zipf_flows(1000, seed=5)
+        sketch = FCMSketch(leaf_counters=8192, depth=2, seed=5)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        for flow, size in list(truth.items())[:100]:
+            assert sketch.query(flow) >= min(size, 255) * 0.5
+
+    def test_large_flow_overflow_chain(self):
+        sketch = FCMSketch(leaf_counters=1024, depth=1, seed=6)
+        sketch.insert(3, 100_000)
+        assert sketch.query(3) >= 65_000
+
+    def test_heavy_hitters(self):
+        truth = zipf_flows(1500, seed=7)
+        sketch = FCMSketch.for_memory(80_000, seed=7)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert recall_of_top(sketch, truth) >= 0.7
+
+    def test_for_memory(self):
+        sketch = FCMSketch.for_memory(100_000)
+        assert sketch.memory_bytes() <= 120_000
+
+    def test_leaf_counters_view(self):
+        sketch = FCMSketch(256, depth=2)
+        assert len(sketch.leaf_counters_view()) == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FCMSketch(0)
+        with pytest.raises(ValueError):
+            FCMSketch(16, fanout=1)
+
+
+class TestHashPipe:
+    def test_finds_heavy_hitters(self):
+        truth = zipf_flows(2000, seed=8)
+        sketch = HashPipe(slots_per_stage=256, num_stages=6, seed=8)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert recall_of_top(sketch, truth) >= 0.8
+
+    def test_small_flows_may_be_dropped(self):
+        sketch = HashPipe(slots_per_stage=4, num_stages=2, seed=9)
+        for flow in range(100):
+            sketch.insert(flow, 1)
+        # HashPipe keeps at most stages*slots flows.
+        assert len(sketch.heavy_hitters(1)) <= 8
+
+    def test_same_flow_merges_in_first_stage(self):
+        sketch = HashPipe(slots_per_stage=64, num_stages=3, seed=10)
+        sketch.insert(7, 5)
+        sketch.insert(7, 5)
+        assert sketch.query(7) >= 10
+
+    def test_for_memory(self):
+        sketch = HashPipe.for_memory(48_000)
+        assert sketch.memory_bytes() <= 48_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashPipe(0)
+
+
+class TestUnivMon:
+    def test_heavy_hitters(self):
+        truth = zipf_flows(1500, seed=11)
+        sketch = UnivMon(width=1024, num_levels=8, topk=128, seed=11)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert recall_of_top(sketch, truth, threshold=100) >= 0.7
+
+    def test_cardinality_order_of_magnitude(self):
+        truth = zipf_flows(1000, seed=12, scale=50)
+        sketch = UnivMon(width=2048, num_levels=10, topk=512, seed=12)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        estimate = sketch.cardinality()
+        assert 300 <= estimate <= 3000
+
+    def test_entropy_positive(self):
+        truth = zipf_flows(500, seed=13)
+        sketch = UnivMon(width=1024, num_levels=8, topk=256, seed=13)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert sketch.entropy() >= 0.0
+
+    def test_level_sampling_monotone(self):
+        sketch = UnivMon(width=64, num_levels=6, topk=16, seed=14)
+        levels = [sketch._max_level(flow) for flow in range(2000)]
+        # Roughly half the flows should stop at level 0.
+        assert 0.3 < sum(1 for level in levels if level == 0) / len(levels) < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnivMon(0)
+
+
+class TestCocoSketch:
+    def test_total_count_conserved(self):
+        truth = zipf_flows(500, seed=15)
+        sketch = CocoSketch(num_slots=256, seed=15)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert sum(slot.count for slot in sketch._slots) == sum(truth.values())
+
+    def test_heavy_hitters_survive(self):
+        truth = zipf_flows(1000, seed=16)
+        sketch = CocoSketch(num_slots=1024, seed=16)
+        for flow, size in truth.items():
+            sketch.insert(flow, size)
+        assert recall_of_top(sketch, truth, top=5, threshold=100) >= 0.6
+
+    def test_query_zero_for_absent_key(self):
+        sketch = CocoSketch(num_slots=64, seed=17)
+        sketch.insert(1, 10)
+        assert sketch.query(999) in (0, 10)  # 0 unless it collides with flow 1
+
+    def test_for_memory(self):
+        sketch = CocoSketch.for_memory(8000)
+        assert sketch.num_slots == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CocoSketch(0)

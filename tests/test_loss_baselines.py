@@ -1,0 +1,123 @@
+"""Tests for the FlowRadar and LossRadar packet-loss baselines."""
+
+import random
+
+import pytest
+
+from repro.sketches.flowradar import FlowRadar, flowradar_loss_detection
+from repro.sketches.lossradar import LossRadar, lossradar_loss_detection
+
+
+def make_flows(count, seed=0, max_size=20):
+    rng = random.Random(seed)
+    flows = {}
+    while len(flows) < count:
+        flows[rng.randrange(1, 1 << 32)] = rng.randrange(1, max_size)
+    return flows
+
+
+class TestFlowRadar:
+    def test_roundtrip(self):
+        flows = make_flows(200, seed=1)
+        radar = FlowRadar(num_cells=400, seed=1)
+        for flow_id, size in flows.items():
+            radar.insert(flow_id, size)
+        result = radar.decode()
+        assert result.success
+        assert result.flows == flows
+
+    def test_repeated_insertions_single_flow_entry(self):
+        radar = FlowRadar(num_cells=64, seed=2)
+        radar.insert(10, 3)
+        radar.insert(10, 4)
+        assert radar.decode().flows == {10: 7}
+
+    def test_undersized_fails(self):
+        flows = make_flows(500, seed=3)
+        radar = FlowRadar(num_cells=100, seed=3)
+        for flow_id, size in flows.items():
+            radar.insert(flow_id, size)
+        assert not radar.decode().success
+
+    def test_loss_detection(self):
+        flows = make_flows(150, seed=4)
+        upstream = FlowRadar(300, seed=4)
+        downstream = FlowRadar(300, seed=4)
+        losses = {}
+        rng = random.Random(4)
+        for flow_id, size in flows.items():
+            upstream.insert(flow_id, size)
+            lost = rng.randrange(0, 2)
+            lost = min(lost, size - 1)
+            if lost:
+                losses[flow_id] = lost
+            if size - lost > 0:
+                downstream.insert(flow_id, size - lost)
+        detected, success = flowradar_loss_detection(upstream, downstream)
+        assert success
+        assert detected == losses
+
+    def test_memory_accounting(self):
+        radar = FlowRadar(num_cells=1000, filter_bits=8000)
+        assert radar.memory_bytes() == 1000 * 12 + 1000
+
+    def test_for_memory_split(self):
+        radar = FlowRadar.for_memory(120_000)
+        assert radar.memory_bytes() <= 130_000
+        assert radar.num_cells > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowRadar(0)
+        radar = FlowRadar(8)
+        with pytest.raises(ValueError):
+            radar.insert(1, 0)
+
+
+class TestLossRadar:
+    def test_packet_identifier_roundtrip(self):
+        identifier = LossRadar.packet_identifier(0xDEADBEEF, 513)
+        assert LossRadar.split_identifier(identifier) == (0xDEADBEEF, 513)
+
+    def test_delta_decodes_lost_packets(self):
+        flows = make_flows(50, seed=5, max_size=30)
+        upstream = LossRadar(2000, seed=5)
+        downstream = LossRadar(2000, seed=5)
+        losses = {}
+        rng = random.Random(5)
+        for flow_id, size in flows.items():
+            lost_seqs = set(rng.sample(range(size), min(2, size)) if size > 2 else [])
+            for seq in range(size):
+                upstream.insert_packet(flow_id, seq)
+                if seq not in lost_seqs:
+                    downstream.insert_packet(flow_id, seq)
+            if lost_seqs:
+                losses[flow_id] = len(lost_seqs)
+        detected, success = lossradar_loss_detection(upstream, downstream)
+        assert success
+        assert detected == losses
+
+    def test_memory_scales_with_lost_packets_not_flows(self):
+        # A small meter suffices when few packets are lost, however many flows.
+        meter = LossRadar(64, seed=6)
+        for flow_id in range(10):
+            meter.insert_packet(flow_id, 0)
+        assert meter.decode().success
+
+    def test_subtract_requires_same_geometry(self):
+        with pytest.raises(ValueError):
+            LossRadar(16, seed=1).subtract(LossRadar(32, seed=1))
+
+    def test_memory_bytes(self):
+        assert LossRadar(100).memory_bytes() == 1000
+
+    def test_insert_convenience(self):
+        meter = LossRadar(128, seed=7)
+        meter.insert(5, 3)  # three packets with sequences 0..2
+        result = meter.decode()
+        assert result.success
+        assert result.flows == {5: 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossRadar(0)

@@ -1,0 +1,110 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.accuracy import (
+    average_relative_error,
+    empirical_entropy,
+    entropy_of_flow_sizes,
+    f1_score,
+    loss_detection_accuracy,
+    precision_recall,
+    relative_error,
+    weighted_mean_relative_error,
+)
+
+
+class TestARE:
+    def test_perfect_estimates(self):
+        truth = {1: 10, 2: 20}
+        assert average_relative_error(truth, truth) == 0.0
+
+    def test_known_value(self):
+        truth = {1: 10, 2: 20}
+        estimates = {1: 12, 2: 25}
+        assert average_relative_error(truth, estimates) == pytest.approx((0.2 + 0.25) / 2)
+
+    def test_missing_estimates_count_as_zero(self):
+        assert average_relative_error({1: 10}, {}) == 1.0
+
+    def test_restricted_flow_set(self):
+        truth = {1: 10, 2: 20}
+        estimates = {1: 10, 2: 40}
+        assert average_relative_error(truth, estimates, flows=[1]) == 0.0
+
+    def test_empty(self):
+        assert average_relative_error({}, {}) == 0.0
+
+
+class TestRE:
+    def test_relative_error(self):
+        assert relative_error(100, 110) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == float("inf")
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert f1_score([1, 2], [1, 2]) == 1.0
+
+    def test_precision_recall(self):
+        precision, recall = precision_recall([1, 2, 3], [2, 3, 4, 5])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_empty_reported(self):
+        precision, recall = precision_recall([], [1])
+        assert precision == 1.0
+        assert recall == 0.0
+        assert f1_score([], [1]) == 0.0
+
+    def test_empty_truth(self):
+        precision, recall = precision_recall([1], [])
+        assert recall == 1.0
+
+
+class TestWMRE:
+    def test_identical_distributions(self):
+        assert weighted_mean_relative_error({1: 10, 2: 5}, {1: 10, 2: 5}) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert weighted_mean_relative_error({1: 10}, {2: 10}) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert weighted_mean_relative_error({}, {}) == 0.0
+
+    def test_known_value(self):
+        wmre = weighted_mean_relative_error({1: 10}, {1: 5})
+        assert wmre == pytest.approx(5 / 7.5)
+
+
+class TestEntropy:
+    def test_uniform_sizes(self):
+        # N flows of size 1: entropy = log2(N).
+        assert empirical_entropy({1: 8}) == pytest.approx(3.0)
+
+    def test_single_flow_zero_entropy(self):
+        assert empirical_entropy({100: 1}) == pytest.approx(0.0)
+
+    def test_from_flow_sizes(self):
+        entropy = entropy_of_flow_sizes({1: 1, 2: 1, 3: 1, 4: 1})
+        assert entropy == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert empirical_entropy({}) == 0.0
+
+
+class TestLossAccuracy:
+    def test_perfect_detection(self):
+        truth = {1: 5, 2: 3}
+        summary = loss_detection_accuracy(truth, dict(truth))
+        assert summary["f1"] == 1.0
+        assert summary["are"] == 0.0
+
+    def test_partial_detection(self):
+        truth = {1: 5, 2: 3}
+        summary = loss_detection_accuracy(truth, {1: 5})
+        assert summary["recall"] == pytest.approx(0.5)
+        assert summary["precision"] == 1.0

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core data-structure invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane.reconfig import threshold_for_target
+from repro.metrics.accuracy import f1_score, weighted_mean_relative_error
+from repro.sketches.fermat import FermatSketch
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.hashing import fold_key, unfold_key
+from repro.sketches.lossradar import LossRadar
+from repro.sketches.tower import TowerSketch
+
+flow_maps = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=(1 << 32) - 1),
+    values=st.integers(min_value=1, max_value=1000),
+    min_size=1,
+    max_size=60,
+)
+
+
+def safe_fermat(num_flows: int, seed: int = 0) -> FermatSketch:
+    """A FermatSketch sized well below the decodability threshold.
+
+    Tiny sketches have a non-negligible pure-bucket false-positive rate (1/m
+    per check), so — like the P4 implementation — the property tests carry a
+    fingerprint, and keep the load comfortably below the 2-core threshold.
+    """
+    return FermatSketch.for_flow_count(
+        max(60, num_flows), load_factor=0.4, seed=seed, fingerprint_bits=16
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=flow_maps, seed=st.integers(min_value=0, max_value=10))
+def test_fermat_decode_recovers_exact_flows(flows, seed):
+    """Inserting any flow set at a safe load always decodes back exactly."""
+    sketch = safe_fermat(len(flows), seed=seed)
+    for flow_id, size in flows.items():
+        sketch.insert(flow_id, size)
+    result = sketch.decode()
+    assert result.success
+    assert result.flows == flows
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=flow_maps, removed=st.data())
+def test_fermat_subtraction_is_exact_difference(flows, removed):
+    """upstream - downstream encodes exactly the lost packets, never more."""
+    upstream = safe_fermat(len(flows), seed=1)
+    downstream = upstream.empty_like()
+    losses = {}
+    for flow_id, size in flows.items():
+        upstream.insert(flow_id, size)
+        lost = removed.draw(st.integers(min_value=0, max_value=size))
+        if size - lost > 0:
+            downstream.insert(flow_id, size - lost)
+        if lost:
+            losses[flow_id] = lost
+    result = (upstream - downstream).decode()
+    assert result.success
+    assert result.positive_flows() == losses
+
+
+@settings(max_examples=30, deadline=None)
+@given(flows=flow_maps)
+def test_fermat_addition_commutes(flows):
+    """a + b and b + a decode to the same multiset of flows."""
+    items = list(flows.items())
+    a = safe_fermat(len(flows), seed=2)
+    b = a.empty_like()
+    for index, (flow_id, size) in enumerate(items):
+        (a if index % 2 else b).insert(flow_id, size)
+    ab = (a + b).decode().flows
+    ba = (b + a).decode().flows
+    assert ab == ba == flows
+
+
+@settings(max_examples=30, deadline=None)
+@given(flows=flow_maps, seed=st.integers(min_value=0, max_value=5))
+def test_fermat_insert_remove_roundtrip(flows, seed):
+    """Removing everything that was inserted leaves an empty sketch."""
+    sketch = safe_fermat(len(flows), seed=seed)
+    for flow_id, size in flows.items():
+        sketch.insert(flow_id, size)
+    for flow_id, size in flows.items():
+        sketch.remove(flow_id, size)
+    assert sketch.is_empty()
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=flow_maps, seed=st.integers(min_value=0, max_value=5))
+def test_tower_never_underestimates(flows, seed):
+    """TowerSketch estimates are >= the true size (up to saturation)."""
+    tower = TowerSketch([(8, 2048), (16, 1024)], seed=seed)
+    for flow_id, size in flows.items():
+        tower.insert(flow_id, size)
+    for flow_id, size in flows.items():
+        assert tower.query(flow_id) >= min(size, 255)
+
+
+@settings(max_examples=30, deadline=None)
+@given(flows=flow_maps)
+def test_flowradar_roundtrip(flows):
+    """FlowRadar decodes every inserted flow when given enough cells."""
+    radar = FlowRadar(num_cells=max(64, 6 * len(flows)), seed=3)
+    for flow_id, size in flows.items():
+        radar.insert(flow_id, size)
+    result = radar.decode()
+    assert result.success
+    assert result.flows == flows
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    packets=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1 << 20),
+            st.integers(min_value=0, max_value=100),
+        ),
+        min_size=1,
+        max_size=80,
+        unique=True,
+    )
+)
+def test_lossradar_decodes_unique_packets(packets):
+    """A LossRadar holding any set of unique packet IDs decodes completely."""
+    meter = LossRadar(num_cells=max(64, 6 * len(packets)), seed=4)
+    expected = {}
+    for flow_id, sequence in packets:
+        meter.insert_packet(flow_id, sequence)
+        expected[flow_id] = expected.get(flow_id, 0) + 1
+    result = meter.decode()
+    assert result.success
+    assert result.flows == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    parts=st.tuples(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 8) - 1),
+    )
+)
+def test_key_packing_roundtrip(parts):
+    widths = (32, 32, 16, 16, 8)
+    assert unfold_key(fold_key(parts, widths), widths) == parts
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    distribution=st.dictionaries(
+        keys=st.integers(min_value=1, max_value=10_000),
+        values=st.floats(min_value=0.1, max_value=1000),
+        min_size=1,
+        max_size=40,
+    ),
+    target=st.floats(min_value=0.0, max_value=5000),
+)
+def test_threshold_for_target_respects_budget(distribution, target):
+    """The chosen threshold never admits more flows than the target (unless
+    the threshold already sits at the minimum)."""
+    threshold = threshold_for_target(distribution, target, minimum=1)
+    admitted = sum(count for size, count in distribution.items() if size >= threshold)
+    total = sum(distribution.values())
+    assert threshold >= 1
+    if threshold > max(distribution):
+        assert admitted == 0
+    elif threshold > 1:
+        assert admitted <= max(target, min(distribution.values()))
+    else:
+        assert admitted == total
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    truth=st.sets(st.integers(min_value=0, max_value=100), max_size=30),
+    reported=st.sets(st.integers(min_value=0, max_value=100), max_size=30),
+)
+def test_f1_score_bounds(truth, reported):
+    score = f1_score(reported, truth)
+    assert 0.0 <= score <= 1.0
+    if reported == truth:
+        assert score == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    distribution=st.dictionaries(
+        keys=st.integers(min_value=1, max_value=100),
+        values=st.floats(min_value=0.0, max_value=100),
+        max_size=20,
+    )
+)
+def test_wmre_identity_is_zero(distribution):
+    assert weighted_mean_relative_error(distribution, dict(distribution)) == 0.0

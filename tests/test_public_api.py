@@ -1,0 +1,58 @@
+"""Smoke tests for the top-level public API."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_sketch_exports(self):
+        from repro import sketches
+
+        for name in sketches.__all__:
+            assert hasattr(sketches, name), name
+
+    def test_controlplane_exports(self):
+        from repro import controlplane
+
+        for name in controlplane.__all__:
+            assert hasattr(controlplane, name), name
+
+    def test_network_exports(self):
+        from repro import network
+
+        for name in network.__all__:
+            assert hasattr(network, name), name
+
+    def test_traffic_exports(self):
+        from repro import traffic
+
+        for name in traffic.__all__:
+            assert hasattr(traffic, name), name
+
+    def test_dataplane_exports(self):
+        from repro import dataplane
+
+        for name in dataplane.__all__:
+            assert hasattr(dataplane, name), name
+
+    def test_experiments_exports(self):
+        from repro import experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must keep working."""
+        from repro import FermatSketch
+
+        upstream = FermatSketch.for_flow_count(1000, load_factor=0.7)
+        downstream = upstream.empty_like()
+        upstream.insert(42, 10)
+        downstream.insert(42, 8)
+        assert (upstream - downstream).decode().flows == {42: 2}

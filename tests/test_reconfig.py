@@ -1,0 +1,241 @@
+"""Tests for the attention-shifting reconfiguration engine."""
+
+import pytest
+
+from repro.controlplane.reconfig import (
+    AttentionController,
+    NetworkLevel,
+    flows_at_or_above,
+    threshold_for_target,
+)
+from repro.controlplane.state import MonitoringSnapshot
+from repro.dataplane.config import SwitchResources
+
+
+def make_resources():
+    return SwitchResources.scaled(0.1)
+
+
+def healthy_snapshot(resources, **overrides):
+    config = resources.initial_config()
+    snapshot = MonitoringSnapshot(config=config, num_ingress_switches=4)
+    snapshot.total_flows_estimate = 400.0
+    snapshot.per_switch_flows = {i: 100.0 for i in range(4)}
+    snapshot.flow_size_distribution = {1: 200.0, 5: 100.0, 50: 80.0, 500: 20.0}
+    snapshot.hh_candidates = {i: 100 for i in range(4)}
+    snapshot.hh_decode_success = True
+    snapshot.hl_decode_success = True
+    snapshot.ll_decode_success = True
+    snapshot.num_heavy_losses = 20.0
+    snapshot.victim_count_estimate = 20.0
+    for key, value in overrides.items():
+        setattr(snapshot, key, value)
+    return snapshot
+
+
+class TestThresholdSelection:
+    def test_flows_at_or_above(self):
+        distribution = {1: 10.0, 5: 5.0, 50: 2.0}
+        assert flows_at_or_above(distribution, 5) == 7.0
+        assert flows_at_or_above(distribution, 100) == 0.0
+
+    def test_threshold_for_target_basic(self):
+        distribution = {1: 100.0, 10: 50.0, 100: 10.0}
+        # Only 10 flows allowed -> the smallest threshold excluding the 50
+        # size-10 flows is 11 (admitting exactly the 10 size-100 flows).
+        assert threshold_for_target(distribution, 10) == 11
+        # 60 flows allowed -> threshold 2 admits exactly the 60 flows of size >= 2.
+        assert threshold_for_target(distribution, 60) == 2
+
+    def test_threshold_when_everything_fits(self):
+        distribution = {5: 10.0}
+        assert threshold_for_target(distribution, 100) == 1
+
+    def test_threshold_respects_bounds(self):
+        distribution = {1: 100.0, 1000: 100.0}
+        assert threshold_for_target(distribution, 1, minimum=2, maximum=500) == 500
+
+    def test_empty_distribution(self):
+        assert threshold_for_target({}, 10, minimum=3) == 3
+
+
+class TestHealthyState:
+    def test_stays_healthy_when_everything_decodes(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        decision = controller.reconfigure(healthy_snapshot(resources))
+        assert decision.level is NetworkLevel.HEALTHY
+        assert decision.config.threshold_low == 1
+        assert decision.config.sample_rate == 1.0
+
+    def test_hh_failure_raises_threshold_and_stops(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        snapshot = healthy_snapshot(resources, hh_decode_success=False)
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.HEALTHY
+        assert decision.config.threshold_high > snapshot.config.threshold_high
+        assert decision.config.layout == snapshot.config.layout
+
+    def test_hl_failure_expands_hl_encoder(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        snapshot = healthy_snapshot(
+            resources, hl_decode_success=False, victim_count_estimate=300.0
+        )
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.HEALTHY
+        assert decision.config.layout.m_hl > snapshot.config.layout.m_hl
+        assert decision.config.layout.m_ll == 0
+
+    def test_transition_to_ill_when_victims_exceed_capacity(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        too_many = resources.downstream_buckets * resources.num_arrays * 2.0
+        snapshot = healthy_snapshot(
+            resources, hl_decode_success=False, victim_count_estimate=too_many
+        )
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.ILL
+        assert decision.transitioned
+        assert decision.config.layout == resources.ill_layout
+        assert decision.config.layout.m_ll > 0
+        assert decision.config.threshold_low >= 2
+        assert decision.config.sample_rate < 1.0
+        assert controller.level is NetworkLevel.ILL
+
+    def test_compression_when_underloaded(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        # Start from an inflated HL encoder and very few victims.
+        from repro.dataplane.config import EncoderLayout, MonitoringConfig
+
+        big_hl = MonitoringConfig(
+            layout=EncoderLayout(
+                m_hh=resources.upstream_buckets - resources.downstream_buckets,
+                m_hl=resources.downstream_buckets,
+                m_ll=0,
+            )
+        )
+        snapshot = healthy_snapshot(resources, victim_count_estimate=5.0, num_heavy_losses=5.0)
+        snapshot.config = big_hl
+        decision = controller.reconfigure(snapshot)
+        assert decision.config.layout.m_hl < resources.downstream_buckets
+        assert decision.config.layout.m_hl >= resources.min_hl_buckets
+
+    def test_forward_progress_guaranteed_on_repeated_failure(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        config = resources.initial_config()
+        for _ in range(10):
+            snapshot = healthy_snapshot(
+                resources, hl_decode_success=False, victim_count_estimate=10.0
+            )
+            snapshot.config = config
+            decision = controller.reconfigure(snapshot)
+            if controller.level is NetworkLevel.ILL:
+                break
+            assert decision.config.layout.m_hl > config.layout.m_hl
+            config = decision.config
+        # Eventually the downstream capacity is exhausted and the state flips.
+        assert config.layout.m_hl <= resources.downstream_buckets
+
+
+class TestIllState:
+    def ill_snapshot(self, resources, **overrides):
+        from repro.dataplane.config import MonitoringConfig
+
+        config = MonitoringConfig(
+            layout=resources.ill_layout,
+            threshold_high=200,
+            threshold_low=50,
+            sample_rate=0.2,
+        )
+        snapshot = MonitoringSnapshot(config=config, num_ingress_switches=4)
+        snapshot.total_flows_estimate = 2000.0
+        snapshot.per_switch_flows = {i: 500.0 for i in range(4)}
+        snapshot.flow_size_distribution = {1: 1000.0, 10: 600.0, 100: 300.0, 1000: 100.0}
+        snapshot.hh_candidates = {i: 80 for i in range(4)}
+        snapshot.hh_decode_success = True
+        snapshot.hl_decode_success = True
+        snapshot.ll_decode_success = True
+        snapshot.num_heavy_losses = 150.0
+        snapshot.num_sampled_light_losses = 40.0
+        snapshot.victim_count_estimate = 800.0
+        snapshot.victim_size_distribution = {2: 500.0, 20: 200.0, 80: 70.0, 300: 30.0}
+        for key, value in overrides.items():
+            setattr(snapshot, key, value)
+        return snapshot
+
+    def make_ill_controller(self, resources):
+        return AttentionController(resources, initial_level=NetworkLevel.ILL)
+
+    def test_ll_failure_lowers_sample_rate(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        snapshot = self.ill_snapshot(resources, ll_decode_success=False,
+                                     num_sampled_light_losses=500.0)
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.ILL
+        assert decision.config.sample_rate < snapshot.config.sample_rate
+
+    def test_hl_failure_raises_t_low(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        snapshot = self.ill_snapshot(resources, hl_decode_success=False)
+        decision = controller.reconfigure(snapshot)
+        assert decision.config.threshold_low > snapshot.config.threshold_low
+        assert decision.config.threshold_low <= decision.config.threshold_high
+
+    def test_transition_back_to_healthy(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        snapshot = self.ill_snapshot(resources, victim_count_estimate=20.0)
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.HEALTHY
+        assert decision.transitioned
+        assert decision.config.threshold_low == 1
+        assert decision.config.sample_rate == 1.0
+        assert decision.config.layout.m_ll == 0
+
+    def test_stays_ill_when_victims_still_too_many(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        too_many = resources.downstream_buckets * resources.num_arrays * 3.0
+        snapshot = self.ill_snapshot(resources, victim_count_estimate=too_many)
+        decision = controller.reconfigure(snapshot)
+        assert decision.level is NetworkLevel.ILL
+        assert not decision.transitioned
+
+    def test_hh_failure_raises_t_high(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        snapshot = self.ill_snapshot(resources, hh_decode_success=False)
+        decision = controller.reconfigure(snapshot)
+        assert decision.config.threshold_high > snapshot.config.threshold_high
+
+    def test_thresholds_remain_ordered(self):
+        resources = make_resources()
+        controller = self.make_ill_controller(resources)
+        for overrides in (
+            {},
+            {"hl_decode_success": False},
+            {"ll_decode_success": False},
+            {"hh_decode_success": False},
+            {"victim_count_estimate": 10_000.0},
+        ):
+            controller.level = NetworkLevel.ILL
+            decision = controller.reconfigure(self.ill_snapshot(resources, **overrides))
+            assert decision.config.threshold_low <= decision.config.threshold_high
+
+
+class TestControllerValidation:
+    def test_load_band_validation(self):
+        with pytest.raises(ValueError):
+            AttentionController(make_resources(), target_load=0.5, low_load=0.6)
+
+    def test_decision_describe(self):
+        resources = make_resources()
+        controller = AttentionController(resources)
+        decision = controller.reconfigure(healthy_snapshot(resources))
+        assert "healthy" in decision.describe()

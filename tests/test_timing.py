@@ -1,0 +1,102 @@
+"""Tests for the control-loop timing/bandwidth model (Figures 20-22)."""
+
+import random
+
+import pytest
+
+from repro.controlplane.timing import (
+    CollectionModel,
+    TOTAL_COLLECTION_MS,
+    epoch_budget_ms,
+    reconfiguration_entries,
+    reconfiguration_time_cdf,
+    reconfiguration_time_ms,
+    response_time_ms,
+)
+from repro.dataplane.config import SwitchResources
+
+
+class TestCollectionModel:
+    def test_bytes_match_testbed_settings(self):
+        model = CollectionModel(SwitchResources())
+        # Classifier: 32768 x 1B + 16384 x 2B = 64 KB.
+        assert model.classifier_bytes() == 65536
+        # Upstream flow encoder: 4096 buckets x 3 arrays x 20 B.
+        assert model.upstream_bytes() == 4096 * 3 * 20
+        assert model.downstream_bytes() == 3072 * 3 * 20
+
+    def test_bandwidth_at_50ms_epoch(self):
+        model = CollectionModel(SwitchResources())
+        bandwidth = model.bandwidth_mbps(epoch_length_ms=50, num_switches=4)
+        # The paper reports ~317-320 Mbps at 50 ms epochs.
+        assert 150 < bandwidth < 500
+
+    def test_bandwidth_decreases_with_epoch_length(self):
+        model = CollectionModel(SwitchResources())
+        assert model.bandwidth_mbps(100) < model.bandwidth_mbps(50)
+
+    def test_bandwidth_validation(self):
+        model = CollectionModel(SwitchResources())
+        with pytest.raises(ValueError):
+            model.bandwidth_mbps(0)
+
+    def test_collection_time_fixed(self):
+        model = CollectionModel(SwitchResources())
+        assert model.collection_time_ms() == pytest.approx(TOTAL_COLLECTION_MS)
+        assert model.collection_time_ms() < 15
+
+
+class TestResponseTime:
+    def test_in_paper_band(self):
+        # The paper's Figure 20 spans roughly 5-30 ms.
+        assert 4 <= response_time_ms(100, 100, 100) <= 35
+        assert 4 <= response_time_ms(4000, 3000, 500) <= 60
+
+    def test_monotone_in_hh_candidates(self):
+        assert response_time_ms(4000, 100) > response_time_ms(100, 100)
+
+    def test_decreases_with_fewer_candidates(self):
+        assert response_time_ms(100, 500) < response_time_ms(2000, 500)
+
+
+class TestReconfiguration:
+    def test_entries_depend_on_layout(self):
+        resources = SwitchResources()
+        healthy = resources.initial_config()
+        from repro.dataplane.config import MonitoringConfig
+
+        ill = MonitoringConfig(layout=resources.ill_layout, threshold_high=100,
+                               threshold_low=10, sample_rate=0.1)
+        assert reconfiguration_entries(healthy) > 0
+        assert reconfiguration_entries(ill) > reconfiguration_entries(healthy) - 20
+
+    def test_time_in_paper_band(self):
+        resources = SwitchResources()
+        rng = random.Random(1)
+        times = [
+            reconfiguration_time_ms(resources.initial_config(), rng) for _ in range(200)
+        ]
+        # Figure 22: 2-7 ms.
+        assert min(times) >= 2.0
+        assert max(times) <= 12.0
+
+    def test_cdf_sorted(self):
+        resources = SwitchResources()
+        configs = [resources.initial_config()] * 20
+        cdf = reconfiguration_time_cdf(configs, seed=2)
+        assert cdf == sorted(cdf)
+        assert len(cdf) == 20
+
+
+class TestEpochBudget:
+    def test_total_fits_in_50ms_epoch(self):
+        resources = SwitchResources()
+        budget = epoch_budget_ms(
+            resources,
+            num_hh_candidates=3000,
+            num_heavy_losses=2000,
+            num_sampled_light_losses=500,
+            config=resources.initial_config(),
+        )
+        assert budget["total_ms"] < 50
+        assert set(budget) == {"collection_ms", "response_ms", "reconfiguration_ms", "total_ms"}

@@ -1,0 +1,97 @@
+"""Tests for TowerSketch (the flow classifier substrate)."""
+
+import pytest
+
+from repro.sketches.tower import TowerSketch
+
+
+class TestTowerSketch:
+    def test_insert_returns_estimate(self):
+        tower = TowerSketch([(8, 128), (16, 64)], seed=1)
+        assert tower.insert(42) == 1
+        assert tower.insert(42) == 2
+        assert tower.query(42) == 2
+
+    def test_never_underestimates_single_flow(self):
+        tower = TowerSketch([(8, 256), (16, 128)], seed=2)
+        for _ in range(300):
+            tower.insert(7)
+        assert tower.query(7) >= 300 or tower.query(7) == tower.levels[1].saturation
+
+    def test_saturation_of_narrow_level(self):
+        tower = TowerSketch([(8, 64), (16, 64)], seed=3)
+        tower.insert(9, 300)
+        # The 8-bit counter saturates at 255 but the 16-bit one keeps counting.
+        assert tower.query(9) == 300
+
+    def test_full_saturation(self):
+        tower = TowerSketch([(4, 8), (8, 4)], seed=4)
+        tower.insert(1, 10_000)
+        assert tower.query(1) == 255  # widest saturation value
+
+    def test_query_unknown_flow_small(self):
+        tower = TowerSketch([(8, 4096), (16, 2048)], seed=5)
+        for flow in range(100):
+            tower.insert(flow, 5)
+        assert tower.query(999_999) <= 10
+
+    def test_memory_bytes(self):
+        tower = TowerSketch([(8, 1000), (16, 500)])
+        assert tower.memory_bytes() == 1000 + 1000
+
+    def test_counter_array_and_widest(self):
+        tower = TowerSketch([(8, 100), (16, 50)])
+        tower.insert(3)
+        assert len(tower.counter_array(0)) == 100
+        assert len(tower.widest_array()) == 100
+
+    def test_reset(self):
+        tower = TowerSketch([(8, 32), (16, 16)])
+        tower.insert(1, 10)
+        tower.reset()
+        assert tower.query(1) == 0
+        assert sum(tower.counter_array(0)) == 0
+
+    def test_copy_independent(self):
+        tower = TowerSketch([(8, 32)])
+        tower.insert(1, 2)
+        clone = tower.copy()
+        clone.insert(1, 5)
+        assert tower.query(1) == 2
+        assert clone.query(1) == 7
+
+    def test_negative_insert_rejected(self):
+        tower = TowerSketch([(8, 32)])
+        with pytest.raises(ValueError):
+            tower.insert(1, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TowerSketch([])
+        with pytest.raises(ValueError):
+            TowerSketch([(1, 10)])
+        with pytest.raises(ValueError):
+            TowerSketch([(8, 0)])
+
+    def test_chamelemon_default_scaling(self):
+        full = TowerSketch.chamelemon_default(1.0)
+        small = TowerSketch.chamelemon_default(0.1)
+        assert full.levels[0].num_counters == 32768
+        assert full.levels[1].num_counters == 16384
+        assert small.levels[0].num_counters < full.levels[0].num_counters
+
+    def test_heavy_flows_filter(self):
+        tower = TowerSketch([(8, 512), (16, 256)], seed=6)
+        tower.insert(100, 50)
+        tower.insert(200, 5)
+        heavy = tower.heavy_flows([100, 200], threshold=20)
+        assert 100 in heavy and 200 not in heavy
+
+    def test_accuracy_under_load(self):
+        # Estimates are upward-biased only (Count-Min property per level).
+        tower = TowerSketch([(8, 2048), (16, 1024)], seed=7)
+        truth = {flow: (flow % 9) + 1 for flow in range(500)}
+        for flow, size in truth.items():
+            tower.insert(flow, size)
+        for flow, size in truth.items():
+            assert tower.query(flow) >= min(size, 255)

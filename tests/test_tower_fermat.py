@@ -1,0 +1,92 @@
+"""Tests for the Tower+Fermat combination (Figure 11's subject)."""
+
+import random
+
+import pytest
+
+from repro.core.tower_fermat import TowerFermat
+
+
+def zipf_flows(count, seed=0, scale=5000):
+    rng = random.Random(seed)
+    return {
+        flow: max(1, int(scale / (rank + 1)))
+        for rank, flow in enumerate(rng.sample(range(1, 1 << 30), count))
+    }
+
+
+class TestTowerFermat:
+    def test_small_flows_use_tower(self):
+        combo = TowerFermat([(8, 4096), (16, 2048)], fermat_buckets=300, threshold=100, seed=1)
+        combo.insert(7, 20)
+        assert combo.query(7) == 20
+        assert combo.flowset() == {}
+
+    def test_large_flow_promoted_to_fermat(self):
+        combo = TowerFermat([(8, 4096), (16, 2048)], fermat_buckets=300, threshold=100, seed=2)
+        combo.insert(9, 500)
+        flowset = combo.flowset()
+        assert 9 in flowset
+        # T_h - 1 packets stayed in the tower, the rest reached the Fermat part,
+        # so the combined estimate is exact for an isolated flow.
+        assert flowset[9] == 500 - 99
+        assert combo.query(9) == 500
+
+    def test_heavy_hitters(self):
+        truth = zipf_flows(1000, seed=3)
+        combo = TowerFermat.for_memory(200_000, threshold=50, seed=3)
+        for flow, size in truth.items():
+            combo.insert(flow, size)
+        truth_hh = {flow for flow, size in truth.items() if size > 200}
+        reported = combo.heavy_hitters(200)
+        found = sum(1 for flow in truth_hh if flow in reported)
+        assert found / len(truth_hh) > 0.9
+
+    def test_flow_size_accuracy(self):
+        truth = zipf_flows(2000, seed=4, scale=2000)
+        combo = TowerFermat.for_memory(200_000, threshold=100, seed=4)
+        for flow, size in truth.items():
+            combo.insert(flow, size)
+        errors = [abs(combo.query(flow) - size) / size for flow, size in truth.items()]
+        assert sum(errors) / len(errors) < 0.25
+
+    def test_cardinality(self):
+        truth = zipf_flows(1500, seed=5, scale=200)
+        combo = TowerFermat.for_memory(150_000, threshold=100, seed=5)
+        for flow, size in truth.items():
+            combo.insert(flow, size)
+        assert abs(combo.cardinality() - 1500) / 1500 < 0.1
+
+    def test_entropy_positive(self):
+        truth = zipf_flows(500, seed=6)
+        combo = TowerFermat.for_memory(100_000, threshold=100, seed=6)
+        for flow, size in truth.items():
+            combo.insert(flow, size)
+        assert combo.entropy(iterations=2) > 0
+
+    def test_distribution_contains_small_sizes(self):
+        combo = TowerFermat.for_memory(100_000, threshold=100, seed=7)
+        for flow in range(200):
+            combo.insert(flow + 1, 2)
+        distribution = combo.flow_size_distribution(iterations=2)
+        assert distribution.get(2, 0) > 100
+
+    def test_incremental_insert_matches_bulk(self):
+        a = TowerFermat([(8, 2048), (16, 1024)], fermat_buckets=300, threshold=50, seed=8)
+        b = TowerFermat([(8, 2048), (16, 1024)], fermat_buckets=300, threshold=50, seed=8)
+        a.insert(42, 200)
+        for _ in range(200):
+            b.insert(42, 1)
+        assert a.query(42) == b.query(42)
+
+    def test_memory_accounting(self):
+        combo = TowerFermat.for_memory(100_000, seed=9)
+        assert combo.memory_bytes() <= 130_000
+
+    def test_flowset_cache_invalidation(self):
+        combo = TowerFermat([(8, 1024), (16, 512)], fermat_buckets=300, threshold=10, seed=10)
+        combo.insert(1, 50)
+        first = combo.flowset()
+        combo.insert(2, 60)
+        second = combo.flowset()
+        assert 2 in second and 2 not in first
