@@ -12,9 +12,12 @@ the HL/LL encoders removed, packaged as a single-node sketch.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..sketches.base import FrequencySketch, HeavyHitterSketch
+from ..sketches.hashing import KeyArray
 from ..sketches.fermat import MERSENNE_PRIME_61, FermatSketch
 from ..sketches.linear_counting import estimate_cardinality
 from ..sketches.mrac import (
@@ -60,12 +63,31 @@ class TowerFermat(HeavyHitterSketch, FrequencySketch):
     ) -> "TowerFermat":
         """Size the combination for a total memory budget.
 
-        The Fermat part keeps its fixed bucket count (as in the paper) and the
-        remaining memory is split half/half between the 8-bit and 16-bit Tower
-        arrays.
+        The Fermat part keeps its fixed bucket count (as in the paper) as long
+        as the budget allows it, and the remaining memory is split half/half
+        between the 8-bit and 16-bit Tower arrays.  When the budget cannot fit
+        the requested Fermat part plus a minimal Tower, the Fermat bucket count
+        is shrunk so that ``memory_bytes()`` never exceeds ``memory_bytes``
+        (points off the paper's Figure 11 curves must stay memory-matched).
+
+        Budgets below 128 bytes cannot fit the structural minimum (one Fermat
+        bucket per array plus the smallest Tower) and are rejected.
         """
+        if memory_bytes < 128:
+            raise ValueError(
+                "TowerFermat.for_memory needs a budget of at least 128 bytes"
+            )
+        num_arrays = 3  # matches the constructor default
+        min_tower_bytes = 64
         fermat_bytes = fermat_buckets * FERMAT_BUCKET_BYTES
-        tower_bytes = max(64, memory_bytes - fermat_bytes)
+        if memory_bytes - fermat_bytes < min_tower_bytes:
+            per_array_bytes = num_arrays * FERMAT_BUCKET_BYTES
+            per_array = max(
+                1, (memory_bytes - min_tower_bytes) // per_array_bytes
+            )
+            fermat_buckets = per_array * num_arrays
+            fermat_bytes = fermat_buckets * FERMAT_BUCKET_BYTES
+        tower_bytes = max(min_tower_bytes, memory_bytes - fermat_bytes)
         counters_8 = max(8, tower_bytes // 2)
         counters_16 = max(4, (tower_bytes - counters_8) // 2)
         return cls(
@@ -94,6 +116,64 @@ class TowerFermat(HeavyHitterSketch, FrequencySketch):
             chunk = max(1, chunk)
             self.tower.insert(flow_id, chunk)
             remaining -= chunk
+
+    def insert_batch(
+        self,
+        flow_ids: Union[Sequence[int], np.ndarray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Bulk insert — bit-identical to scalar :meth:`insert` in order.
+
+        The promotion decision of a flow depends on the Tower state left by
+        every earlier flow (collisions inflate estimates), so the flows are
+        processed sequentially; what gets vectorized is the expensive part —
+        the big-int hash evaluations (one :class:`KeyArray` shared across the
+        Tower levels) and the Fermat encoding of all promoted flows, which is
+        order-insensitive and deferred to a single ``insert_batch``.
+        """
+        keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        counts = [int(c) for c in counts]
+        if len(counts) != keys.size:
+            raise ValueError("flow_ids and counts must have the same length")
+        if not counts:
+            return
+        self._flowset = None
+        tower = self.tower
+        indices = [h.hash_array(keys).tolist() for h in tower._hashes]
+        counters = [row.tolist() for row in tower._counters]
+        saturations = [level.saturation for level in tower.levels]
+        max_saturation = max(saturations)
+        num_levels = len(saturations)
+        threshold = self.threshold
+        promoted_ids: List[int] = []
+        promoted_counts: List[int] = []
+        id_list: Optional[List[int]] = None
+        for k, count in enumerate(counts):
+            remaining = count
+            while remaining > 0:
+                estimate = None
+                for li in range(num_levels):
+                    value = counters[li][indices[li][k]]
+                    if value < saturations[li]:
+                        estimate = value if estimate is None else min(estimate, value)
+                if estimate is None:
+                    estimate = max_saturation
+                if estimate + 1 >= threshold:
+                    chunk = remaining
+                    if id_list is None:
+                        id_list = keys.ints()
+                    promoted_ids.append(id_list[k])
+                    promoted_counts.append(remaining)
+                else:
+                    chunk = max(1, min(remaining, threshold - 1 - estimate))
+                for li in range(num_levels):
+                    j = indices[li][k]
+                    counters[li][j] = min(counters[li][j] + chunk, saturations[li])
+                remaining -= chunk
+        for li in range(num_levels):
+            tower._counters[li][:] = counters[li]
+        if promoted_ids:
+            self.fermat.insert_batch(promoted_ids, promoted_counts)
 
     def flowset(self) -> Dict[int, int]:
         """The decoded Fermat Flowset (cached until the next insertion)."""

@@ -10,7 +10,7 @@ subtract downstream from upstream (section 4.2, "Packet loss detection").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional, Sequence
 
 from ..sketches.fermat import MERSENNE_PRIME_127, FermatSketch
 from .config import EncoderLayout, SwitchResources
@@ -93,6 +93,32 @@ class UpstreamFlowEncoder:
             return
         part.insert(flow_id, count)
 
+    def _part_for(self, hierarchy: FlowHierarchy) -> Optional[FermatSketch]:
+        if hierarchy is FlowHierarchy.HH_CANDIDATE:
+            return self.parts.hh
+        if hierarchy is FlowHierarchy.HL_CANDIDATE:
+            return self.parts.hl
+        return self.parts.ll
+
+    def encode_batch(
+        self,
+        hierarchy: FlowHierarchy,
+        flow_ids: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        """Encode many same-hierarchy segments at once (vectorized Fermat path).
+
+        Bit-identical to per-segment :meth:`encode` calls: Fermat insertion is
+        commutative, and callers pass only positive counts of encodable
+        hierarchies (mirroring the per-packet filter).
+        """
+        if not hierarchy.encoded_upstream:
+            return
+        part = self._part_for(hierarchy)
+        if part is None or not len(flow_ids):
+            return
+        part.insert_batch(flow_ids, counts)
+
 
 class DownstreamFlowEncoder:
     """The egress-side flow encoder (HL + LL parts; HH packets use the HL part)."""
@@ -126,6 +152,23 @@ class DownstreamFlowEncoder:
         if part is None:
             return
         part.insert(flow_id, count)
+
+    def encode_batch(
+        self,
+        hierarchy: FlowHierarchy,
+        flow_ids: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        """Encode many same-hierarchy segments at once (vectorized Fermat path)."""
+        if not hierarchy.encoded_downstream:
+            return
+        if hierarchy in (FlowHierarchy.HH_CANDIDATE, FlowHierarchy.HL_CANDIDATE):
+            part = self.parts.hl
+        else:
+            part = self.parts.ll
+        if part is None or not len(flow_ids):
+            return
+        part.insert_batch(flow_ids, counts)
 
 
 def empty_like_part(part: Optional[FermatSketch]) -> Optional[FermatSketch]:

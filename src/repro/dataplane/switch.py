@@ -176,6 +176,98 @@ class EdgeSwitch:
             group.downstream.encode(flow_id, count, hierarchy)
             self.stats.packets_downstream += count
 
+    # ------------------------------------------------------------------ #
+    # batched packet processing (vectorized backend)
+    # ------------------------------------------------------------------ #
+    def process_flows_upstream_arrays(self, flow_ids, sizes) -> "ClassifiedBatch":
+        """Batched upstream processing in array form (the hot path).
+
+        Bit-identical to calling :meth:`process_flow_upstream` per flow in
+        order: the classifier resolves order-dependence with grouped prefix
+        sums, and the per-hierarchy Fermat encoders ingest each hierarchy's
+        segments in one vectorized insert (Fermat encoding is commutative).
+        """
+        group = self._active
+        batch = group.classifier.classify_flows_arrays(flow_ids, sizes, group.config)
+        self.stats.packets_upstream += batch.packets
+        self.stats.flows_seen += batch.flows_seen
+        per_hierarchy = self.stats.per_hierarchy_packets
+        for hierarchy, total in batch.totals().items():
+            per_hierarchy[hierarchy] += total
+        for hierarchy, ids, counts in batch.grouped_arrays():
+            group.upstream.encode_batch(hierarchy, ids, counts)
+        return batch
+
+    def process_flows_upstream(
+        self, flow_ids: List[int], sizes: List[int]
+    ) -> List[HierarchySegments]:
+        """Batched :meth:`process_flow_upstream`; returns per-flow segments."""
+        return self.process_flows_upstream_arrays(flow_ids, sizes).segments_list()
+
+    def process_flows_downstream_arrays(
+        self,
+        groups: List[Tuple[FlowHierarchy, "np.ndarray", "np.ndarray"]],
+        packets: int,
+    ) -> None:
+        """Batched downstream processing of pre-grouped (hierarchy, ids, counts).
+
+        ``packets`` is the total delivered packet count across the groups
+        (including non-sampled LL, which is counted but never encoded —
+        mirroring the scalar per-segment statistics).
+        """
+        group = self._active
+        self.stats.packets_downstream += packets
+        for hierarchy, ids, counts in groups:
+            if len(ids):
+                group.downstream.encode_batch(hierarchy, ids, counts)
+
+    def process_flows_downstream(
+        self,
+        flow_ids: List[int],
+        segments_list: List[HierarchySegments],
+    ) -> None:
+        """Batched :meth:`process_flow_downstream` over many flows at once."""
+        group = self._active
+        hh = FlowHierarchy.HH_CANDIDATE
+        hl = FlowHierarchy.HL_CANDIDATE
+        s_ll = FlowHierarchy.SAMPLED_LL
+        ns_ll = FlowHierarchy.NON_SAMPLED_LL
+        hh_ids: List[int] = []
+        hh_counts: List[int] = []
+        hl_ids: List[int] = []
+        hl_counts: List[int] = []
+        sll_ids: List[int] = []
+        sll_counts: List[int] = []
+        nsll_ids: List[int] = []
+        nsll_counts: List[int] = []
+        packets_downstream = 0
+        for flow_id, segments in zip(flow_ids, segments_list):
+            for hierarchy, count in segments:
+                if count <= 0:
+                    continue
+                if hierarchy is hh:
+                    hh_ids.append(flow_id)
+                    hh_counts.append(count)
+                elif hierarchy is hl:
+                    hl_ids.append(flow_id)
+                    hl_counts.append(count)
+                elif hierarchy is s_ll:
+                    sll_ids.append(flow_id)
+                    sll_counts.append(count)
+                else:
+                    nsll_ids.append(flow_id)
+                    nsll_counts.append(count)
+                packets_downstream += count
+        self.stats.packets_downstream += packets_downstream
+        for hierarchy, ids, counts in (
+            (hh, hh_ids, hh_counts),
+            (hl, hl_ids, hl_counts),
+            (s_ll, sll_ids, sll_counts),
+            (ns_ll, nsll_ids, nsll_counts),
+        ):
+            if ids:
+                group.downstream.encode_batch(hierarchy, ids, counts)
+
     def query_flow_size(self, flow_id: int) -> int:
         """Online per-flow size query against the active classifier."""
         return self._active.classifier.query(flow_id)

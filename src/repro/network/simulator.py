@@ -15,10 +15,12 @@ dropped before the controller collects the epoch's sketches, matching the
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..dataplane.hierarchy import FlowHierarchy
 from ..dataplane.switch import EdgeSwitch, HierarchySegments
 from ..traffic.flow import FlowRecord, Trace
 from .routing import EcmpRouter
@@ -43,6 +45,44 @@ class EpochTruth:
         return sum(self.losses.values())
 
 
+def _hypergeometric(
+    rng: random.Random, population: int, successes: int, draws: int
+) -> int:
+    """Exact hypergeometric sample: successes seen in ``draws`` of ``population``.
+
+    Inverse-CDF sampling with one uniform variate: the pmf at the lower
+    support bound comes from ``lgamma`` and subsequent terms from the ratio
+    recurrence, so the cost is O(support width) with no per-packet work.
+    """
+    lower = max(0, draws - (population - successes))
+    upper = min(draws, successes)
+    if lower >= upper:
+        return lower
+    u = rng.random()
+    # log pmf(lower) = log [C(successes, lower) C(population-successes, draws-lower) / C(population, draws)]
+    log_pmf = (
+        _log_comb(successes, lower)
+        + _log_comb(population - successes, draws - lower)
+        - _log_comb(population, draws)
+    )
+    pmf = math.exp(log_pmf)
+    cumulative = pmf
+    k = lower
+    while cumulative < u and k < upper:
+        pmf *= (
+            (successes - k)
+            * (draws - k)
+            / ((k + 1.0) * (population - successes - draws + k + 1.0))
+        )
+        k += 1
+        cumulative += pmf
+    return k
+
+
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
 def distribute_losses(
     segments: HierarchySegments, lost_packets: int, rng: random.Random
 ) -> HierarchySegments:
@@ -50,8 +90,11 @@ def distribute_losses(
 
     Returns the *delivered* segments (same hierarchy order, reduced counts).
     Losses land on packets uniformly, so each segment loses a hypergeometric
-    share; this mirrors dropping ECN-marked packets irrespective of when in
-    the flow's lifetime they were sent.
+    share — drawn directly per segment rather than per packet, which keeps the
+    cost proportional to the number of segments (a handful per flow) instead
+    of the flow's packet count.  The total delivered count is always exactly
+    ``total - lost_packets``: the final segment's draw is forced by the
+    degenerate support bound.
     """
     total = sum(count for _, count in segments)
     lost_packets = max(0, min(lost_packets, total))
@@ -61,15 +104,10 @@ def distribute_losses(
     remaining_losses = lost_packets
     delivered: HierarchySegments = []
     for hierarchy, count in segments:
-        # Sequential hypergeometric draw: each packet of the segment is lost
-        # with probability remaining_losses / remaining_total.
-        losses_here = 0
-        for _ in range(count):
-            if remaining_losses > 0 and rng.random() < remaining_losses / remaining_total:
-                losses_here += 1
-                remaining_losses -= 1
-            remaining_total -= 1
+        losses_here = _hypergeometric(rng, remaining_total, remaining_losses, count)
         delivered.append((hierarchy, count - losses_here))
+        remaining_total -= count
+        remaining_losses -= losses_here
     return delivered
 
 
@@ -101,8 +139,7 @@ class NetworkSimulator:
     # ------------------------------------------------------------------ #
     def transmit_flow(self, flow: FlowRecord) -> Tuple[HierarchySegments, int]:
         """Send one flow through the network; returns (delivered segments, losses)."""
-        src = flow.src_host if flow.src_host is not None else 0
-        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % self.topology.num_hosts
+        src, dst = self._flow_endpoints(flow)
         ingress = self.edge_switch_for_host(src)
         egress = self.edge_switch_for_host(dst)
         segments = ingress.process_flow_upstream(flow.flow_id, flow.size)
@@ -111,19 +148,166 @@ class NetworkSimulator:
         egress.process_flow_downstream(flow.flow_id, delivered)
         return delivered, lost
 
-    def run_epoch(self, trace: Trace) -> EpochTruth:
-        """Replay a whole trace as one epoch and return its ground truth."""
+    def _flow_endpoints(self, flow: FlowRecord) -> Tuple[int, int]:
+        src = flow.src_host if flow.src_host is not None else 0
+        dst = (
+            flow.dst_host
+            if flow.dst_host is not None
+            else (src + 1) % self.topology.num_hosts
+        )
+        return src, dst
+
+    def run_epoch(self, trace: Trace, batched: bool = True) -> EpochTruth:
+        """Replay a whole trace as one epoch and return its ground truth.
+
+        ``batched=True`` (the default) routes the trace through the vectorized
+        pipeline: flows are grouped per ingress/egress edge switch, classified
+        and encoded with the NumPy sketch backend, and losses are drawn per
+        segment.  ``batched=False`` is the scalar reference path; both produce
+        bit-identical sketch state, ground truth, and RNG consumption.
+
+        A flow ID that appears several times in the trace accumulates into the
+        ground truth (sizes and losses are summed), matching what the sketches
+        record.
+        """
+        if batched:
+            return self._run_epoch_batched(trace)
         truth = EpochTruth()
         for flow in trace.flows:
             delivered, lost = self.transmit_flow(flow)
-            truth.flow_sizes[flow.flow_id] = flow.size
+            truth.flow_sizes[flow.flow_id] = (
+                truth.flow_sizes.get(flow.flow_id, 0) + flow.size
+            )
             if lost > 0:
-                truth.losses[flow.flow_id] = lost
+                truth.losses[flow.flow_id] = truth.losses.get(flow.flow_id, 0) + lost
             src = flow.src_host if flow.src_host is not None else 0
             ingress_node = self.topology.edge_switch_of_host(src)
             truth.per_switch_flows[ingress_node] = (
                 truth.per_switch_flows.get(ingress_node, 0) + 1
             )
+        return truth
+
+    def _run_epoch_batched(self, trace: Trace) -> EpochTruth:
+        """Vectorized epoch replay (same results as the scalar reference).
+
+        Upstream processing is grouped per ingress switch (each switch's flows
+        keep their trace order, and switches do not share classifier state, so
+        the grouping preserves every classification decision); loss draws then
+        consume the simulator RNG in trace order exactly like the scalar path;
+        downstream processing is grouped per egress switch.
+        """
+        import numpy as np
+
+        truth = EpochTruth()
+        columns = trace.columns()
+        num_flows = len(trace.flows)
+        if num_flows == 0:
+            return truth
+        num_hosts = self.topology.num_hosts
+        edge_nodes = sorted({
+            self.topology.edge_switch_of_host(host) for host in range(num_hosts)
+        })
+        node_index = {node: index for index, node in enumerate(edge_nodes)}
+        host_edge = np.array(
+            [
+                node_index[self.topology.edge_switch_of_host(host)]
+                for host in range(num_hosts)
+            ],
+            dtype=np.int64,
+        )
+        srcs = np.where(columns.src_hosts < 0, 0, columns.src_hosts)
+        dsts = np.where(
+            columns.dst_hosts < 0, (srcs + 1) % num_hosts, columns.dst_hosts
+        )
+        ingress = host_edge[srcs]
+        egress = host_edge[dsts]
+        flow_ids = columns.flow_ids
+        sizes = columns.sizes
+        # Ground truth: duplicate flow IDs accumulate (sizes and losses sum).
+        unique_ids, inverse = np.unique(flow_ids, return_inverse=True)
+        size_sums = np.zeros(len(unique_ids), dtype=np.int64)
+        np.add.at(size_sums, inverse, sizes)
+        truth.flow_sizes.update(zip(unique_ids.tolist(), size_sums.tolist()))
+        per_switch_counts = np.bincount(ingress, minlength=len(edge_nodes))
+        for index, node in enumerate(edge_nodes):
+            count = int(per_switch_counts[index])
+            if count:
+                truth.per_switch_flows[node] = count
+        # Upstream: one batch per ingress switch; each switch's flows keep
+        # their trace order, so every classification decision is preserved.
+        ll_all = np.zeros(num_flows, dtype=np.int64)
+        hl_all = np.zeros(num_flows, dtype=np.int64)
+        hh_all = np.zeros(num_flows, dtype=np.int64)
+        sampled_all = np.zeros(num_flows, dtype=bool)
+        for index, node in enumerate(edge_nodes):
+            positions = np.nonzero(ingress == index)[0]
+            if not positions.size:
+                continue
+            switch = self.switches.get(node)
+            if switch is None:
+                raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
+            batch = switch.process_flows_upstream_arrays(
+                flow_ids[positions], sizes[positions]
+            )
+            ll_all[positions] = batch.ll
+            hl_all[positions] = batch.hl
+            hh_all[positions] = batch.hh
+            sampled_all[positions] = batch.sampled
+        # Losses consume the simulator RNG per victim in trace order, exactly
+        # like the scalar path; non-victims pass their counts through.
+        losses = truth.losses
+        rng = self._rng
+        s_ll = FlowHierarchy.SAMPLED_LL
+        ns_ll = FlowHierarchy.NON_SAMPLED_LL
+        hl_h = FlowHierarchy.HL_CANDIDATE
+        hh_h = FlowHierarchy.HH_CANDIDATE
+        victim_positions = np.nonzero(columns.is_victim & (columns.lost_packets > 0))[0]
+        lost_list = columns.lost_packets[victim_positions].tolist()
+        for position, lost in zip(victim_positions.tolist(), lost_list):
+            segments: HierarchySegments = []
+            ll_count = int(ll_all[position])
+            if ll_count:
+                segments.append(
+                    (s_ll if sampled_all[position] else ns_ll, ll_count)
+                )
+            hl_count = int(hl_all[position])
+            if hl_count:
+                segments.append((hl_h, hl_count))
+            hh_count = int(hh_all[position])
+            if hh_count:
+                segments.append((hh_h, hh_count))
+            for hierarchy, count in distribute_losses(segments, lost, rng):
+                if hierarchy is hh_h:
+                    hh_all[position] = count
+                elif hierarchy is hl_h:
+                    hl_all[position] = count
+                else:
+                    ll_all[position] = count
+            flow_id = int(trace.flows[position].flow_id)
+            losses[flow_id] = losses.get(flow_id, 0) + lost
+        # Downstream: one batch per egress switch, pre-grouped per hierarchy.
+        sll_mask_all = sampled_all & (ll_all > 0)
+        nsll_mask_all = ~sampled_all & (ll_all > 0)
+        for index, node in enumerate(edge_nodes):
+            egress_mask = egress == index
+            if not egress_mask.any():
+                continue
+            switch = self.switches.get(node)
+            if switch is None:
+                raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
+            groups = []
+            packets = 0
+            for hierarchy, mask, counts in (
+                (hh_h, egress_mask & (hh_all > 0), hh_all),
+                (hl_h, egress_mask & (hl_all > 0), hl_all),
+                (s_ll, egress_mask & sll_mask_all, ll_all),
+                (ns_ll, egress_mask & nsll_mask_all, ll_all),
+            ):
+                if mask.any():
+                    selected = counts[mask]
+                    groups.append((hierarchy, flow_ids[mask], selected))
+                    packets += int(selected.sum())
+            switch.process_flows_downstream_arrays(groups, packets)
         return truth
 
     def rotate_all(self) -> Dict[NodeId, "object"]:

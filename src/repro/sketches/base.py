@@ -37,6 +37,18 @@ class Sketch(abc.ABC):
         for flow_id, count in flows:
             self.insert(flow_id, count)
 
+    def insert_batch(self, flow_ids, counts) -> None:
+        """Insert parallel arrays of flow IDs and counts.
+
+        The base implementation is the scalar reference loop; sketches with a
+        vectorized NumPy backend (Tower, Fermat, CM, Count sketch, and
+        Tower+Fermat) override it.  Both paths produce bit-identical state.
+        """
+        if len(flow_ids) != len(counts):
+            raise ValueError("flow_ids and counts must have the same length")
+        for flow_id, count in zip(flow_ids, counts):
+            self.insert(int(flow_id), int(count))
+
 
 class FrequencySketch(Sketch):
     """A sketch that answers approximate per-flow size queries."""

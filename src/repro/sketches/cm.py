@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence, Union
+
+import numpy as np
 
 from .base import FrequencySketch
-from .hashing import HashFamily, PairwiseHash
+from .hashing import HashFamily, KeyArray, PairwiseHash
 
 #: Figure 11 uses 32-bit counters for CM/CU.
 COUNTER_BYTES = 4
@@ -16,7 +18,9 @@ class CountMinSketch(FrequencySketch):
 
     ``d`` rows of ``w`` counters; insertion increments one counter per row and
     a query reports the minimum mapped counter, which over-estimates the true
-    size by the colliding traffic.
+    size by the colliding traffic.  Counters are NumPy ``int64`` rows; the
+    vectorized :meth:`insert_batch` produces exactly the same state as the
+    scalar :meth:`insert` loop (the update is a plain scatter-add).
     """
 
     def __init__(self, width: int, depth: int = 3, seed: int = 0) -> None:
@@ -26,7 +30,7 @@ class CountMinSketch(FrequencySketch):
         self.depth = depth
         family = HashFamily(seed)
         self._hashes: List[PairwiseHash] = family.draw_many(depth, width)
-        self._counters: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._counters = np.zeros((depth, width), dtype=np.int64)
 
     @classmethod
     def for_memory(cls, memory_bytes: int, depth: int = 3, seed: int = 0) -> "CountMinSketch":
@@ -40,17 +44,47 @@ class CountMinSketch(FrequencySketch):
         for row, h in enumerate(self._hashes):
             self._counters[row][h(flow_id)] += count
 
+    def insert_batch(
+        self,
+        flow_ids: Union[Sequence[int], np.ndarray, KeyArray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Vectorized bulk insert (bit-identical to the scalar loop)."""
+        keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (keys.size,):
+            raise ValueError("flow_ids and counts must have the same length")
+        for row, h in enumerate(self._hashes):
+            np.add.at(self._counters[row], h.hash_array(keys), counts)
+
     def query(self, flow_id: int) -> int:
-        return min(
-            self._counters[row][h(flow_id)] for row, h in enumerate(self._hashes)
+        return int(
+            min(
+                self._counters[row][h(flow_id)]
+                for row, h in enumerate(self._hashes)
+            )
         )
+
+    def query_batch(
+        self, flow_ids: Union[Sequence[int], np.ndarray, KeyArray]
+    ) -> np.ndarray:
+        """Vectorized queries (minimum mapped counter per key)."""
+        keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        estimates = None
+        for row, h in enumerate(self._hashes):
+            values = self._counters[row][h.hash_array(keys)]
+            estimates = values if estimates is None else np.minimum(estimates, values)
+        return estimates if estimates is not None else np.zeros(0, dtype=np.int64)
 
 
 class CUSketch(FrequencySketch):
     """CU sketch (conservative update variant of Count-Min).
 
     On insertion only the minimum mapped counters are incremented, which keeps
-    the same no-underestimate guarantee while reducing over-estimation.
+    the same no-underestimate guarantee while reducing over-estimation.  The
+    conservative update reads the current minimum before writing, so the
+    result is order-dependent and there is no exact vectorized batch path; the
+    inherited ``insert_batch`` falls back to the scalar loop.
     """
 
     def __init__(self, width: int, depth: int = 3, seed: int = 0) -> None:
@@ -60,7 +94,7 @@ class CUSketch(FrequencySketch):
         self.depth = depth
         family = HashFamily(seed)
         self._hashes: List[PairwiseHash] = family.draw_many(depth, width)
-        self._counters: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._counters = np.zeros((depth, width), dtype=np.int64)
 
     @classmethod
     def for_memory(cls, memory_bytes: int, depth: int = 3, seed: int = 0) -> "CUSketch":
@@ -72,13 +106,16 @@ class CUSketch(FrequencySketch):
 
     def insert(self, flow_id: int, count: int = 1) -> None:
         positions = [h(flow_id) for h in self._hashes]
-        values = [self._counters[row][pos] for row, pos in enumerate(positions)]
+        values = [int(self._counters[row][pos]) for row, pos in enumerate(positions)]
         target = min(values) + count
         for row, pos in enumerate(positions):
             if self._counters[row][pos] < target:
                 self._counters[row][pos] = target
 
     def query(self, flow_id: int) -> int:
-        return min(
-            self._counters[row][h(flow_id)] for row, h in enumerate(self._hashes)
+        return int(
+            min(
+                self._counters[row][h(flow_id)]
+                for row, h in enumerate(self._hashes)
+            )
         )

@@ -31,10 +31,19 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .base import DecodeResult, InvertibleSketch
-from .hashing import HashFamily, PairwiseHash
+from .hashing import (
+    HashFamily,
+    KeyArray,
+    PairwiseHash,
+    fold_limb_sums_mod_mersenne,
+    mersenne_exponent,
+    modmul_array,
+)
 
 # Primes used as the Fermat modulus.  The modulus must exceed every flow ID
 # (including the fingerprint extension) and every flow size inserted.
@@ -157,11 +166,16 @@ class FermatSketch(InvertibleSketch):
         self._fp_hash: Optional[PairwiseHash] = None
         if fingerprint_bits:
             self._fp_hash = family.draw(1 << fingerprint_bits)
-        self._counts: List[List[int]] = [
-            [0] * buckets_per_array for _ in range(num_arrays)
+        # Counts are int64 NumPy arrays (they go negative after subtraction).
+        # IDsums hold residues in [0, prime): for primes below 2**62 the sum
+        # of two residues fits uint64, so a plain uint64 array works; wider
+        # primes (e.g. 2**127 - 1) fall back to object-dtype Python ints.
+        self._counts: List[np.ndarray] = [
+            np.zeros(buckets_per_array, dtype=np.int64) for _ in range(num_arrays)
         ]
-        self._idsums: List[List[int]] = [
-            [0] * buckets_per_array for _ in range(num_arrays)
+        idsum_dtype = np.uint64 if prime < (1 << 62) else object
+        self._idsums: List[np.ndarray] = [
+            np.zeros(buckets_per_array, dtype=idsum_dtype) for _ in range(num_arrays)
         ]
 
     # ------------------------------------------------------------------ #
@@ -229,9 +243,8 @@ class FermatSketch(InvertibleSketch):
         """Number of buckets with a non-zero count or IDsum."""
         total = 0
         for counts, idsums in zip(self._counts, self._idsums):
-            for c, s in zip(counts, idsums):
-                if c != 0 or s != 0:
-                    total += 1
+            nonzero = (counts != 0) | (idsums != 0).astype(bool)
+            total += int(np.count_nonzero(nonzero))
         return total
 
     def compatible_with(self, other: "FermatSketch") -> bool:
@@ -271,7 +284,96 @@ class FermatSketch(InvertibleSketch):
         for i, h in enumerate(self._hashes):
             j = h(ext)
             self._counts[i][j] += count
-            self._idsums[i][j] = (self._idsums[i][j] + delta) % p
+            self._idsums[i][j] = (int(self._idsums[i][j]) + delta) % p
+
+    def extend_ids_batch(
+        self, flow_ids: Union[Sequence[int], np.ndarray]
+    ) -> KeyArray:
+        """Fingerprint-extend a batch of flow IDs into a shared :class:`KeyArray`."""
+        if self._fp_hash is None:
+            keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        else:
+            bits = self.params.fingerprint_bits
+            id_keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+            fingerprints = self._fp_hash.hash_array(id_keys)
+            if id_keys.limbs.shape[0] * 32 + bits <= 63:
+                # Single-limb IDs (the guard rules out wider ones): the
+                # extension fits uint64 and stays vectorized.
+                extended = (
+                    id_keys.limbs[0] << np.uint64(bits)
+                ) | fingerprints.astype(np.uint64)
+                keys = KeyArray(extended)
+            else:
+                ids = np.array(id_keys.ints(), dtype=object)
+                keys = KeyArray((ids << bits) | fingerprints.astype(object))
+        limbs_bits = keys.limbs.shape[0] * 32
+        if limbs_bits >= self.params.prime.bit_length():
+            if keys.max_int() >= self.params.prime:
+                raise ValueError(
+                    "flow ID (after fingerprint extension) must be smaller than "
+                    "the Fermat prime; use a larger prime"
+                )
+        return keys
+
+    def insert_batch(
+        self,
+        flow_ids: Union[Sequence[int], np.ndarray],
+        counts: Union[Sequence[int], np.ndarray],
+        _extended: Optional[KeyArray] = None,
+    ) -> None:
+        """Vectorized bulk insert — bit-identical state to scalar inserts.
+
+        Bucket indices come from the vectorized hash path; IDsum deltas
+        ``(ext * count) mod p`` are computed limb-wise and scatter-added into
+        per-limb uint64 accumulators, which are merged into the object-dtype
+        IDsum arrays once per call (sums of residues are congruent to the
+        incremental per-insert reduction, so the final stored values match the
+        scalar path exactly).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        keys = _extended if _extended is not None else self.extend_ids_batch(flow_ids)
+        if counts.shape != (keys.size,):
+            raise ValueError("flow_ids and counts must have the same length")
+        if counts.size == 0:
+            return
+        p = self.params.prime
+        exponent = mersenne_exponent(p)
+        if counts.min() >= 0 and counts.max() < (1 << 31):
+            delta_limbs = modmul_array(keys, counts.astype(np.uint64), p)
+        else:
+            delta_limbs = None
+        if delta_limbs is None:
+            # Negative counts or a non-Mersenne prime: per-element fallback
+            # (works for both uint64 and object IDsum storage).
+            deltas = [
+                (ext * count) % p
+                for ext, count in zip(keys.ints(), counts.tolist())
+            ]
+        buckets = self.params.buckets_per_array
+        for i, h in enumerate(self._hashes):
+            indices = h.hash_array(keys)
+            np.add.at(self._counts[i], indices, counts)
+            if delta_limbs is None:
+                idsums = self._idsums[i]
+                for j, delta in zip(indices.tolist(), deltas):
+                    idsums[j] = (int(idsums[j]) + delta) % p
+                continue
+            accumulator = np.zeros((delta_limbs.shape[0], buckets), dtype=np.uint64)
+            for limb in range(delta_limbs.shape[0]):
+                np.add.at(accumulator[limb], indices, delta_limbs[limb])
+            folded = (
+                fold_limb_sums_mod_mersenne(accumulator, exponent)
+                if exponent is not None
+                else None
+            )
+            if folded is not None and self._idsums[i].dtype == np.uint64:
+                self._idsums[i] = (self._idsums[i] + folded) % p
+                continue
+            # Wide primes: merge the limb sums through object-dtype Horner.
+            merged = np.zeros(buckets, dtype=object)
+            for limb in range(delta_limbs.shape[0] - 1, -1, -1):
+                merged = (merged << 32) + accumulator[limb].astype(object)
+            self._idsums[i] = (self._idsums[i] + merged) % p
 
     def remove(self, flow_id: int, count: int = 1) -> None:
         """Remove ``count`` packets of flow ``flow_id`` (inverse of insert)."""
@@ -285,11 +387,8 @@ class FermatSketch(InvertibleSketch):
         self._require_compatible(other)
         p = self.params.prime
         for i in range(self.params.num_arrays):
-            counts, idsums = self._counts[i], self._idsums[i]
-            o_counts, o_idsums = other._counts[i], other._idsums[i]
-            for j in range(self.params.buckets_per_array):
-                counts[j] += o_counts[j]
-                idsums[j] = (idsums[j] + o_idsums[j]) % p
+            self._counts[i] += other._counts[i]
+            self._idsums[i] = (self._idsums[i] + other._idsums[i]) % p
         return self
 
     def subtract(self, other: "FermatSketch") -> "FermatSketch":
@@ -297,11 +396,10 @@ class FermatSketch(InvertibleSketch):
         self._require_compatible(other)
         p = self.params.prime
         for i in range(self.params.num_arrays):
-            counts, idsums = self._counts[i], self._idsums[i]
-            o_counts, o_idsums = other._counts[i], other._idsums[i]
-            for j in range(self.params.buckets_per_array):
-                counts[j] -= o_counts[j]
-                idsums[j] = (idsums[j] - o_idsums[j]) % p
+            self._counts[i] -= other._counts[i]
+            # ``a - b`` would underflow uint64 storage; ``a + (p - b)`` is the
+            # same residue and stays within [0, 2p).
+            self._idsums[i] = (self._idsums[i] + (p - other._idsums[i])) % p
         return self
 
     def __add__(self, other: "FermatSketch") -> "FermatSketch":
@@ -312,8 +410,8 @@ class FermatSketch(InvertibleSketch):
 
     def copy(self) -> "FermatSketch":
         clone = self.empty_like()
-        clone._counts = [list(row) for row in self._counts]
-        clone._idsums = [list(row) for row in self._idsums]
+        clone._counts = [row.copy() for row in self._counts]
+        clone._idsums = [row.copy() for row in self._idsums]
         return clone
 
     def _require_compatible(self, other: "FermatSketch") -> None:
@@ -333,8 +431,8 @@ class FermatSketch(InvertibleSketch):
         combines rehashing (does the recovered ID map back to this bucket?) and
         the optional fingerprint check (appendix A.4).
         """
-        count = self._counts[i][j]
-        idsum = self._idsums[i][j]
+        count = int(self._counts[i][j])
+        idsum = int(self._idsums[i][j])
         p = self.params.prime
         if count % p == 0:
             return None
@@ -384,7 +482,7 @@ class FermatSketch(InvertibleSketch):
             for i2, h in enumerate(self._hashes):
                 j2 = h(ext)
                 self._counts[i2][j2] -= count
-                self._idsums[i2][j2] = (self._idsums[i2][j2] - delta) % p
+                self._idsums[i2][j2] = (int(self._idsums[i2][j2]) - delta) % p
                 if (self._counts[i2][j2] != 0 or self._idsums[i2][j2] != 0) and not queued[i2][j2]:
                     queue.append((i2, j2))
                     queued[i2][j2] = True
@@ -410,7 +508,7 @@ class FermatSketch(InvertibleSketch):
 
     def bucket(self, i: int, j: int) -> Tuple[int, int]:
         """Return the (count, IDsum) pair of bucket ``j`` of array ``i``."""
-        return self._counts[i][j], self._idsums[i][j]
+        return int(self._counts[i][j]), int(self._idsums[i][j])
 
 
 def minimum_memory_for_flows(

@@ -12,15 +12,23 @@ ingress pipeline of each edge switch to classify every flow into the
 HH-candidate / HL-candidate / LL-candidate hierarchies, and the control plane
 additionally mines it for cardinality (linear counting on the widest array),
 flow-size distribution (MRAC per array), and entropy.
+
+Counters are stored as NumPy ``int64`` arrays.  The scalar ``insert``/``query``
+path is the bit-exact reference; :meth:`insert_batch` vectorizes the hash
+evaluation and the scatter-add.  Because saturating addition of non-negative
+increments is order-independent (``min(c + x + y, s)`` regardless of split),
+the batched insert produces exactly the same counters as the scalar loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
 
 from .base import FrequencySketch
-from .hashing import HashFamily, PairwiseHash
+from .hashing import HashFamily, KeyArray, PairwiseHash
 
 
 @dataclass(frozen=True)
@@ -69,8 +77,8 @@ class TowerSketch(FrequencySketch):
         self._hashes: List[PairwiseHash] = [
             family.draw(level.num_counters) for level in self.levels
         ]
-        self._counters: List[List[int]] = [
-            [0] * level.num_counters for level in self.levels
+        self._counters: List[np.ndarray] = [
+            np.zeros(level.num_counters, dtype=np.int64) for level in self.levels
         ]
         self._seed = seed
 
@@ -97,7 +105,7 @@ class TowerSketch(FrequencySketch):
         estimate = None
         for level, h, counters in zip(self.levels, self._hashes, self._counters):
             j = h(flow_id)
-            value = min(counters[j] + count, level.saturation)
+            value = min(int(counters[j]) + count, level.saturation)
             counters[j] = value
             if value < level.saturation:
                 estimate = value if estimate is None else min(estimate, value)
@@ -107,23 +115,59 @@ class TowerSketch(FrequencySketch):
             estimate = max(level.saturation for level in self.levels)
         return estimate
 
+    def insert_batch(
+        self,
+        flow_ids: Union[Sequence[int], np.ndarray, KeyArray],
+        counts: Union[Sequence[int], np.ndarray],
+    ) -> None:
+        """Vectorized bulk insert — same final counters as scalar inserts.
+
+        ``flow_ids`` may be a :class:`~repro.sketches.hashing.KeyArray` so the
+        limb decomposition is shared with other sketches hashing the same keys.
+        """
+        keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (keys.size,):
+            raise ValueError("flow_ids and counts must have the same length")
+        if counts.size and counts.min() < 0:
+            raise ValueError("TowerSketch counters cannot be decremented")
+        for level, h, counters in zip(self.levels, self._hashes, self._counters):
+            indices = h.hash_array(keys)
+            np.add.at(counters, indices, counts)
+            np.minimum(counters, level.saturation, out=counters)
+
     def query(self, flow_id: int) -> int:
         """Estimated size of ``flow_id`` (minimum over non-saturated counters)."""
         estimate = None
         for level, h, counters in zip(self.levels, self._hashes, self._counters):
-            value = counters[h(flow_id)]
+            value = int(counters[h(flow_id)])
             if value < level.saturation:
                 estimate = value if estimate is None else min(estimate, value)
         if estimate is None:
             estimate = max(level.saturation for level in self.levels)
         return estimate
 
+    def query_batch(
+        self, flow_ids: Union[Sequence[int], np.ndarray, KeyArray]
+    ) -> np.ndarray:
+        """Vectorized queries — bit-identical to calling :meth:`query` per key."""
+        keys = flow_ids if isinstance(flow_ids, KeyArray) else KeyArray(flow_ids)
+        estimates = np.full(keys.size, np.iinfo(np.int64).max, dtype=np.int64)
+        any_valid = np.zeros(keys.size, dtype=bool)
+        for level, h, counters in zip(self.levels, self._hashes, self._counters):
+            values = counters[h.hash_array(keys)]
+            valid = values < level.saturation
+            estimates = np.where(valid, np.minimum(estimates, values), estimates)
+            any_valid |= valid
+        fallback = max(level.saturation for level in self.levels)
+        return np.where(any_valid, estimates, fallback)
+
     # ------------------------------------------------------------------ #
     # control-plane views
     # ------------------------------------------------------------------ #
     def counter_array(self, level_index: int) -> List[int]:
         """Raw counters of one level (used by linear counting / MRAC)."""
-        return list(self._counters[level_index])
+        return self._counters[level_index].tolist()
 
     def widest_array(self) -> List[int]:
         """Counters of the level with the most counters (for linear counting).
@@ -142,15 +186,14 @@ class TowerSketch(FrequencySketch):
     def reset(self) -> None:
         """Zero every counter (epoch rotation re-uses the structure)."""
         for counters in self._counters:
-            for j in range(len(counters)):
-                counters[j] = 0
+            counters[:] = 0
 
     def copy(self) -> "TowerSketch":
         clone = TowerSketch(
             [(level.counter_bits, level.num_counters) for level in self.levels],
             seed=self._seed,
         )
-        clone._counters = [list(row) for row in self._counters]
+        clone._counters = [row.copy() for row in self._counters]
         return clone
 
     def heavy_flows(self, candidate_ids: Sequence[int], threshold: int) -> Dict[int, int]:

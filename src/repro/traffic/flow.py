@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..sketches.hashing import fold_key, unfold_key
 
 #: Bit widths of the 5-tuple fields: srcIP, dstIP, srcPort, dstPort, protocol.
@@ -70,6 +72,23 @@ class Packet:
 
 
 @dataclass
+class TraceColumns:
+    """Columnar (NumPy) view of a trace, used by the batched epoch pipeline.
+
+    ``flow_ids`` is uint64 when every ID fits 64 bits, otherwise an
+    object-dtype array of Python ints (packed 104-bit 5-tuples).  ``src_hosts``
+    and ``dst_hosts`` use ``-1`` for unset endpoints.
+    """
+
+    flow_ids: np.ndarray
+    sizes: np.ndarray
+    src_hosts: np.ndarray
+    dst_hosts: np.ndarray
+    is_victim: np.ndarray
+    lost_packets: np.ndarray
+
+
+@dataclass
 class Trace:
     """A workload: per-flow ground truth plus an optional packet stream."""
 
@@ -77,6 +96,36 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.flows)
+
+    def columns(self) -> TraceColumns:
+        """Columnar view of the flows, built fresh on every call.
+
+        Rebuilding (a few tens of milliseconds per 100k flows) keeps the view
+        always consistent with in-place edits to ``flows`` — a cache here
+        would silently desynchronize the batched epoch pipeline from the
+        scalar one after a mutation.
+        """
+        ids = [flow.flow_id for flow in self.flows]
+        try:
+            flow_ids = np.array(ids, dtype=np.uint64)
+        except OverflowError:
+            flow_ids = np.array(ids, dtype=object)
+        return TraceColumns(
+            flow_ids=flow_ids,
+            sizes=np.array([flow.size for flow in self.flows], dtype=np.int64),
+            src_hosts=np.array(
+                [-1 if flow.src_host is None else flow.src_host for flow in self.flows],
+                dtype=np.int64,
+            ),
+            dst_hosts=np.array(
+                [-1 if flow.dst_host is None else flow.dst_host for flow in self.flows],
+                dtype=np.int64,
+            ),
+            is_victim=np.array([flow.is_victim for flow in self.flows], dtype=bool),
+            lost_packets=np.array(
+                [flow.lost_packets for flow in self.flows], dtype=np.int64
+            ),
+        )
 
     def num_packets(self) -> int:
         return sum(flow.size for flow in self.flows)

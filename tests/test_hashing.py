@@ -54,10 +54,13 @@ class TestHashFamily:
         assert isinstance(h2, PairwiseHash)
         assert 0 <= h2(12345) < 10
 
-    def test_zero_range_call(self):
-        h = PairwiseHash(a=3, b=5, range_size=0)
+    def test_zero_range_rejected_at_construction(self):
+        # The range is validated when the hash is built (construction or
+        # with_range), not on every call in the data-plane hot path.
         with pytest.raises(ValueError):
-            h(1)
+            PairwiseHash(a=3, b=5, range_size=0)
+        with pytest.raises(ValueError):
+            HashFamily(seed=0).draw(100).with_range(0)
 
 
 class TestKeyPacking:

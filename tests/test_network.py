@@ -140,3 +140,61 @@ class TestSimulator:
         simulator = NetworkSimulator()
         with pytest.raises(KeyError):
             simulator.edge_switch_for_host(0)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_duplicate_flow_ids_accumulate_in_truth(self, batched):
+        # Regression: a flow ID appearing twice used to overwrite
+        # truth.flow_sizes / truth.losses instead of accumulating.
+        simulator = build_testbed_simulator(resources=SwitchResources.scaled(0.05), seed=4)
+        trace = Trace(
+            flows=[
+                FlowRecord(flow_id=7, size=12, src_host=0, dst_host=4,
+                           is_victim=True, lost_packets=2),
+                FlowRecord(flow_id=7, size=30, src_host=2, dst_host=6,
+                           is_victim=True, lost_packets=5),
+                FlowRecord(flow_id=9, size=4, src_host=1, dst_host=5),
+            ]
+        )
+        truth = simulator.run_epoch(trace, batched=batched)
+        assert truth.flow_sizes == {7: 42, 9: 4}
+        assert truth.losses == {7: 7}
+        assert truth.total_lost_packets() == 7
+
+    def test_batched_epoch_matches_scalar(self):
+        trace = Trace(
+            flows=[
+                FlowRecord(flow_id=100 + i, size=(i * 13) % 40 + 1,
+                           src_host=i % 8, dst_host=(i + 3) % 8,
+                           is_victim=(i % 5 == 0), lost_packets=(i % 5 == 0) * 2)
+                for i in range(200)
+            ]
+        )
+        resources = SwitchResources.scaled(0.05)
+        scalar = build_testbed_simulator(resources=resources, seed=11)
+        batched = build_testbed_simulator(resources=resources, seed=11)
+        truth_a = scalar.run_epoch(trace, batched=False)
+        truth_b = batched.run_epoch(trace, batched=True)
+        assert truth_a.flow_sizes == truth_b.flow_sizes
+        assert truth_a.losses == truth_b.losses
+        assert truth_a.per_switch_flows == truth_b.per_switch_flows
+        for node in scalar.switches:
+            group_a = scalar.switches[node].end_epoch()
+            group_b = batched.switches[node].end_epoch()
+            assert group_a.classifier.tower.counter_array(0) == \
+                group_b.classifier.tower.counter_array(0)
+            for name in ("hh", "hl", "ll"):
+                part_a = group_a.upstream.parts.part(name)
+                part_b = group_b.upstream.parts.part(name)
+                if part_a is None:
+                    assert part_b is None
+                    continue
+                decode_a = part_a.decode_nondestructive()
+                decode_b = part_b.decode_nondestructive()
+                assert decode_a.flows == decode_b.flows
+            assert group_a.upstream.memory_bytes() == group_b.upstream.memory_bytes()
+            stats_a = scalar.switches[node].stats
+            stats_b = batched.switches[node].stats
+            assert stats_a.packets_upstream == stats_b.packets_upstream
+            assert stats_a.packets_downstream == stats_b.packets_downstream
+            assert stats_a.flows_seen == stats_b.flows_seen
+            assert stats_a.per_hierarchy_packets == stats_b.per_hierarchy_packets

@@ -83,6 +83,32 @@ class TestTowerFermat:
         combo = TowerFermat.for_memory(100_000, seed=9)
         assert combo.memory_bytes() <= 130_000
 
+    def test_for_memory_never_exceeds_budget(self):
+        # Regression: small budgets used to keep the full Fermat allocation
+        # (max(64, ...) silently overshot), so Figure 11 points below the
+        # Fermat footprint were not memory-matched.
+        for budget in [128, 1024, 2048, 4096, 10_000, 20_001, 64_000, 100_000, 1 << 20]:
+            combo = TowerFermat.for_memory(budget, seed=1)
+            assert combo.memory_bytes() <= budget, budget
+        with pytest.raises(ValueError):
+            TowerFermat.for_memory(64)
+
+    def test_for_memory_keeps_fermat_when_budget_allows(self):
+        combo = TowerFermat.for_memory(100_000, seed=2)
+        # 2500 buckets -> 833 per array * 3 arrays * 8 bytes.
+        assert combo.fermat.total_buckets() == 833 * 3
+
+    def test_insert_batch_equivalent(self):
+        ids = list(range(1, 400))
+        sizes = [(7 * i) % 300 + 1 for i in ids]
+        a = TowerFermat([(8, 1024), (16, 512)], fermat_buckets=400, threshold=60, seed=3)
+        b = TowerFermat([(8, 1024), (16, 512)], fermat_buckets=400, threshold=60, seed=3)
+        for flow_id, size in zip(ids, sizes):
+            a.insert(flow_id, size)
+        b.insert_batch(ids, sizes)
+        assert a.flowset() == b.flowset()
+        assert all(a.query(f) == b.query(f) for f in ids[:100])
+
     def test_flowset_cache_invalidation(self):
         combo = TowerFermat([(8, 1024), (16, 512)], fermat_buckets=300, threshold=10, seed=10)
         combo.insert(1, 50)
