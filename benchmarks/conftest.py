@@ -22,6 +22,22 @@ def scaled(value: int, minimum: int = 1) -> int:
     return max(minimum, int(value * SCALE))
 
 
+def run_figure(name, overrides=None, seed=None, jobs=1):
+    """Run a registered scenario (the single implementation of each figure)."""
+    from repro.scenarios import run_scenario
+
+    return run_scenario(name, overrides=overrides, seed=seed, jobs=jobs)
+
+
+def rows_where(result, **filters):
+    """Rows of a SweepResult matching all ``key=value`` filters."""
+    return [
+        row
+        for row in result.rows()
+        if all(row.get(key) == value for key, value in filters.items())
+    ]
+
+
 def print_table(title: str, headers, rows) -> None:
     """Print one figure's data as an aligned text table."""
     print(f"\n=== {title} ===")

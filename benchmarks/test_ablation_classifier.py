@@ -4,58 +4,42 @@ ChameleMon uses TowerSketch as the flow classifier because its multi-width
 counter arrays give better per-flow size accuracy per byte than a single-width
 Count-Min sketch, which matters for classifying flows against T_h / T_l.  This
 ablation compares the two at equal memory on the same workload.
+
+The sweep lives in the ``ablation_classifier`` scenario of the registry (both
+sketches are built through ``repro.sketches.registry``).
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.metrics.accuracy import average_relative_error
-from repro.sketches.cm import CountMinSketch
-from repro.sketches.tower import TowerSketch
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, scaled
 
 NUM_FLOWS = scaled(4000, minimum=500)
-MEMORY_BYTES = [scaled(kb, minimum=4) * 1000 for kb in (8, 16, 32)]
-
-
-def classifier_errors(memory_bytes: int, trace) -> dict:
-    truth = trace.flow_sizes()
-    # Tower: half the memory as 8-bit counters, half as 16-bit counters.
-    tower = TowerSketch([(8, memory_bytes // 2), (16, memory_bytes // 4)], seed=1)
-    # Count-Min: 3 rows of 32-bit counters in the same memory.
-    cm = CountMinSketch.for_memory(memory_bytes, depth=3, seed=1)
-    for flow, size in truth.items():
-        tower.insert(flow, size)
-        cm.insert(flow, size)
-    capped_truth = {flow: size for flow, size in truth.items() if size < 255}
-    return {
-        "tower": average_relative_error(
-            capped_truth, {flow: tower.query(flow) for flow in capped_truth}
-        ),
-        "cm": average_relative_error(
-            capped_truth, {flow: cm.query(flow) for flow in capped_truth}
-        ),
-    }
+MEMORY_KB = [scaled(kb, minimum=4) for kb in (8, 16, 32)]
 
 
 def run():
-    trace = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=40)
-    return {memory: classifier_errors(memory, trace) for memory in MEMORY_BYTES}
+    return run_figure(
+        "ablation_classifier",
+        overrides=dict(flows=NUM_FLOWS, memory_kb=tuple(MEMORY_KB)),
+    )
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_tower_vs_cm_classifier(benchmark):
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.rows()
 
-    rows = [
-        [f"{memory // 1000}KB", round(errors["tower"], 4), round(errors["cm"], 4)]
-        for memory, errors in results.items()
-    ]
-    print_table("Ablation: classifier ARE (small flows), Tower vs. Count-Min",
-                ["memory", "tower", "count-min"], rows)
+    print_table(
+        "Ablation: classifier ARE (small flows), Tower vs. Count-Min",
+        ["memory", "tower", "count-min"],
+        [
+            [f"{row['memory_kb']}KB", round(row["tower_are"], 4), round(row["cm_are"], 4)]
+            for row in rows
+        ],
+    )
 
     # At tight memory the Tower classifier is at least as accurate as CM.
-    tight = results[MEMORY_BYTES[0]]
-    assert tight["tower"] <= tight["cm"] * 1.2 + 0.01
+    tight = rows[0]
+    assert tight["tower_are"] <= tight["cm_are"] * 1.2 + 0.01
     # Accuracy improves with memory for both.
-    assert results[MEMORY_BYTES[-1]]["tower"] <= results[MEMORY_BYTES[0]]["tower"] + 1e-9
+    assert rows[-1]["tower_are"] <= rows[0]["tower_are"] + 1e-9

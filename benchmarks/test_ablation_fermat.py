@@ -6,85 +6,57 @@
 * Target load factor: the controller steers every encoder toward 70 %; this
   ablation measures the decode success rate at load factors around that
   target, confirming that 70 % is safely below the ~81 % decodability limit.
+
+Both ablations live in the ``ablation_fermat`` scenario of the registry.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.sketches.fermat import FermatSketch, peeling_threshold
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, rows_where, scaled
 
 NUM_FLOWS = scaled(1000, minimum=200)
 TRIALS = 10
 
 
-def minimum_buckets_for_d(num_arrays: int, trace, trials: int = 3) -> int:
-    per_array = max(4, NUM_FLOWS // num_arrays // 4)
-    while True:
-        ok = True
-        for trial in range(trials):
-            sketch = FermatSketch(per_array, num_arrays=num_arrays, seed=trial)
-            for flow in trace.flows:
-                sketch.insert(flow.flow_id, flow.size)
-            if not sketch.decode().success:
-                ok = False
-                break
-        if ok:
-            return per_array * num_arrays
-        per_array = int(per_array * 1.1) + 1
-
-
-def success_rate_at_load(load_factor: float, trials: int = TRIALS) -> float:
-    successes = 0
-    for trial in range(trials):
-        trace = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=300 + trial)
-        sketch = FermatSketch.for_flow_count(
-            NUM_FLOWS, load_factor=load_factor, seed=trial, fingerprint_bits=8
-        )
-        for flow in trace.flows:
-            sketch.insert(flow.flow_id, flow.size)
-        if sketch.decode().success:
-            successes += 1
-    return successes / trials
-
-
 def run():
-    trace = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=30)
-    d_rows = []
-    for num_arrays in (2, 3, 4, 5):
-        buckets = minimum_buckets_for_d(num_arrays, trace)
-        d_rows.append(
-            [num_arrays, buckets, round(buckets / NUM_FLOWS, 3),
-             round(peeling_threshold(num_arrays), 3)]
-        )
-    load_rows = [
-        [load, success_rate_at_load(load)] for load in (0.5, 0.6, 0.7, 0.75, 0.81, 0.9)
-    ]
-    return d_rows, load_rows
+    return run_figure(
+        "ablation_fermat", overrides=dict(flows=NUM_FLOWS, trials=TRIALS)
+    )
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_fermat_arrays_and_load(benchmark):
-    d_rows, load_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    d_rows = rows_where(result, kind="arrays")
+    load_rows = rows_where(result, kind="load")
 
     print_table(
         "Ablation: minimum buckets to decode vs. number of arrays d",
         ["d", "buckets", "buckets/flow", "theoretical c_d"],
-        d_rows,
+        [
+            [
+                row["num_arrays"],
+                row["buckets"],
+                round(row["buckets_per_flow"], 3),
+                round(row["theoretical_c_d"], 3),
+            ]
+            for row in d_rows
+        ],
     )
     print_table(
         "Ablation: decode success rate vs. load factor (d = 3)",
         ["load", "success"],
-        load_rows,
+        [[row["load_factor"], row["success_rate"]] for row in load_rows],
     )
 
-    buckets_by_d = {row[0]: row[1] for row in d_rows}
+    buckets_by_d = {row["num_arrays"]: row["buckets"] for row in d_rows}
     # d = 3 needs the fewest buckets per flow among 2, 4, 5 (paper: c_3 minimal).
     assert buckets_by_d[3] <= buckets_by_d[2]
     assert buckets_by_d[3] <= buckets_by_d[5]
     # The empirical buckets/flow for d = 3 sits near the theoretical 1.23.
-    assert 1.0 <= d_rows[1][2] <= 1.6
+    d3 = next(row for row in d_rows if row["num_arrays"] == 3)
+    assert 1.0 <= d3["buckets_per_flow"] <= 1.6
     # The 70 % target is safe; 90 % load is beyond the decodability threshold.
-    success = dict(load_rows)
+    success = {row["load_factor"]: row["success_rate"] for row in load_rows}
     assert success[0.7] >= 0.9
     assert success[0.9] <= 0.5

@@ -6,17 +6,21 @@ Two claims are demonstrated on a 100k-flow Zipf (CAIDA-like) trace:
   state and Fermat decode results to the scalar per-flow path, and
 * the batched pipeline is at least an order of magnitude faster.
 
-A sketch-level microbenchmark (bulk inserts into Tower/Fermat/CM) is reported
-alongside for context.
+The end-to-end comparison lives in the ``backend_speedup`` scenario of the
+registry; this module runs it, asserts the two claims, and writes the result
+as a machine-readable perf artifact (``BENCH_backend_speedup.json``) so the
+speedup trajectory can be tracked across commits.  A sketch-level
+microbenchmark (bulk inserts into Tower/Fermat/CM) is reported alongside for
+context.
 """
 
+import os
 import time
 
 import conftest
 import pytest
 
-from repro.dataplane.config import MonitoringConfig, SwitchResources
-from repro.network.simulator import build_testbed_simulator
+from conftest import run_figure
 from repro.sketches.cm import CountMinSketch
 from repro.sketches.fermat import FermatSketch
 from repro.sketches.tower import TowerSketch
@@ -25,80 +29,42 @@ from repro.traffic.generator import generate_caida_like_trace
 #: Minimum acceptable end-to-end speedup of the batched epoch pipeline.
 MIN_EPOCH_SPEEDUP = 10.0
 
-
-def _fresh_simulator(seed=7):
-    resources = SwitchResources()
-    config = MonitoringConfig(
-        layout=resources.ill_layout,
-        threshold_high=64,
-        threshold_low=8,
-        sample_rate=0.75,
-    )
-    return build_testbed_simulator(resources=resources, config=config, seed=seed)
-
-
-def _decode_state(simulator):
-    """Decode every encoder part of every switch (plus classifier counters)."""
-    state = {}
-    for node, switch in sorted(simulator.switches.items()):
-        group = switch.end_epoch()
-        towers = tuple(
-            tuple(group.classifier.tower.counter_array(level))
-            for level in range(len(group.classifier.tower.levels))
-        )
-        decodes = {}
-        for direction, encoder in (("up", group.upstream), ("down", group.downstream)):
-            for name in ("hh", "hl", "ll"):
-                part = encoder.parts.part(name)
-                if part is None:
-                    continue
-                result = part.decode_nondestructive()
-                decodes[(direction, name)] = (
-                    result.success,
-                    tuple(sorted(result.flows.items())),
-                )
-        state[node] = (towers, decodes)
-    return state
+#: Machine-readable perf artifact, written next to the repository root.
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_backend_speedup.json",
+)
 
 
 def test_batched_epoch_identical_and_fast():
     num_flows = conftest.scaled(100_000)
-    trace = generate_caida_like_trace(
-        num_flows,
-        victim_flows=max(1, num_flows // 50),
-        loss_rate=0.02,
-        seed=3,
-    )
-
-    scalar_sim = _fresh_simulator()
-    start = time.perf_counter()
-    scalar_truth = scalar_sim.run_epoch(trace, batched=False)
-    scalar_seconds = time.perf_counter() - start
-
-    batched_sim = _fresh_simulator()
-    start = time.perf_counter()
-    batched_truth = batched_sim.run_epoch(trace, batched=True)
-    batched_seconds = time.perf_counter() - start
+    result = run_figure("backend_speedup", overrides=dict(flows=num_flows))
+    point = result.points[0]
+    row = point.rows[0]
 
     # --- identical results ------------------------------------------------ #
-    assert batched_truth.flow_sizes == scalar_truth.flow_sizes
-    assert batched_truth.losses == scalar_truth.losses
-    assert batched_truth.per_switch_flows == scalar_truth.per_switch_flows
-    assert _decode_state(batched_sim) == _decode_state(scalar_sim)
+    assert point.extras["identical"], (
+        "batched run_epoch diverged from the scalar reference"
+    )
 
     # --- speedup ---------------------------------------------------------- #
-    speedup = scalar_seconds / max(batched_seconds, 1e-9)
+    speedup = row["speedup"]
     conftest.print_table(
         "Backend speedup: run_epoch on a Zipf trace",
         ["flows", "packets", "scalar (s)", "batched (s)", "speedup"],
         [[
-            num_flows,
-            trace.num_packets(),
-            f"{scalar_seconds:.2f}",
-            f"{batched_seconds:.2f}",
+            row["flows"],
+            row["packets"],
+            f"{row['scalar_seconds']:.2f}",
+            f"{row['batched_seconds']:.2f}",
             f"{speedup:.1f}x",
         ]],
     )
+
+    # Perf artifact: the typed RunResult, serialized as-is.
+    point.to_json(path=ARTIFACT_PATH)
+    print(f"perf artifact written to {ARTIFACT_PATH}")
+
     # Small traces (REPRO_SCALE < 1) leave the fixed vectorization overhead
     # visible; the 10x bar is the acceptance criterion at full scale.
     required = MIN_EPOCH_SPEEDUP if conftest.SCALE >= 1.0 else 3.0

@@ -4,68 +4,57 @@ Paper protocol (appendix A.4): insert 1K / 10K CAIDA flows into FermatSketches
 of varying size and measure the decoding success rate, (a) at equal buckets
 per flow and (b) at equal memory per flow (the fingerprint widens each bucket
 from 8 to 9 bytes).
+
+The sweep lives in the ``fig10`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.sketches.fermat import FermatSketch
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, scaled
 
 NUM_FLOWS = scaled(1000, minimum=200)
 BUCKETS_PER_FLOW = (1.17, 1.20, 1.23, 1.26, 1.29)
 TRIALS = 20
-PLAIN_BUCKET_BYTES = 8
-FP_BUCKET_BYTES = 9
-
-
-def success_rate(num_flows: int, buckets_per_flow: float, fingerprint_bits: int, trials: int) -> float:
-    successes = 0
-    per_array = max(1, int(num_flows * buckets_per_flow / 3))
-    for trial in range(trials):
-        trace = generate_caida_like_trace(num_flows=num_flows, seed=100 + trial)
-        sketch = FermatSketch(
-            per_array, num_arrays=3, seed=trial, fingerprint_bits=fingerprint_bits
-        )
-        for flow in trace.flows:
-            sketch.insert(flow.flow_id, flow.size)
-        if sketch.decode().success:
-            successes += 1
-    return successes / trials
 
 
 def run():
-    rows = []
-    for buckets_per_flow in BUCKETS_PER_FLOW:
-        without_fp = success_rate(NUM_FLOWS, buckets_per_flow, 0, TRIALS)
-        with_fp = success_rate(NUM_FLOWS, buckets_per_flow, 8, TRIALS)
-        # Same memory per flow: the fingerprint variant gets 8/9 of the buckets.
-        same_memory_fp = success_rate(
-            NUM_FLOWS, buckets_per_flow * PLAIN_BUCKET_BYTES / FP_BUCKET_BYTES, 8, TRIALS
-        )
-        rows.append((buckets_per_flow, without_fp, with_fp, same_memory_fp))
-    return rows
+    return run_figure(
+        "fig10",
+        overrides=dict(
+            flows=NUM_FLOWS, buckets_per_flow=BUCKETS_PER_FLOW, trials=TRIALS
+        ),
+    )
 
 
 @pytest.mark.benchmark(group="fig10")
 def test_fig10_fingerprint_effect(benchmark):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.rows()
 
     print_table(
         "Figure 10: decode success rate, with/without 8-bit fingerprint",
         ["buckets/flow", "no fp", "fp (same buckets)", "fp (same memory)"],
-        [[b, f"{a:.2f}", f"{c:.2f}", f"{d:.2f}"] for b, a, c, d in rows],
+        [
+            [
+                row["buckets_per_flow"],
+                f"{row['no_fp']:.2f}",
+                f"{row['fp_same_buckets']:.2f}",
+                f"{row['fp_same_memory']:.2f}",
+            ]
+            for row in rows
+        ],
     )
 
     # With the same number of buckets, fingerprints never hurt and help at the
     # tight end of the sweep.
-    for _, without_fp, with_fp, _ in rows:
-        assert with_fp >= without_fp - 0.15
+    for row in rows:
+        assert row["fp_same_buckets"] >= row["no_fp"] - 0.15
     # At generous loads everything decodes.
-    assert rows[-1][1] > 0.8
-    assert rows[-1][2] > 0.8
+    assert rows[-1]["no_fp"] > 0.8
+    assert rows[-1]["fp_same_buckets"] > 0.8
     # Under the same *memory*, spending bytes on fingerprints instead of
     # buckets does not improve the success rate (the paper's conclusion).
-    avg_same_buckets = sum(r[2] for r in rows) / len(rows)
-    avg_same_memory = sum(r[3] for r in rows) / len(rows)
+    avg_same_buckets = sum(row["fp_same_buckets"] for row in rows) / len(rows)
+    avg_same_memory = sum(row["fp_same_memory"] for row in rows) / len(rows)
     assert avg_same_memory <= avg_same_buckets + 0.1

@@ -4,60 +4,76 @@ Paper protocol: CAIDA traces (~63K flows), memory swept 200-600 KB,
 Tower+Fermat compared against CM, CU, CountHeap, UnivMon, ElasticSketch, FCM,
 HashPipe, CocoSketch and MRAC on heavy hitters (F1), flow size (ARE), heavy
 changes (F1), flow-size distribution (WMRE), entropy (RE) and cardinality (RE).
+
+The sweep lives in the ``fig11`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.accumulation import evaluate_tasks
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, rows_where, scaled
 
 NUM_FLOWS = scaled(4000, minimum=500)
-MEMORY_BUDGETS = [scaled(kb, minimum=20) * 1000 for kb in (50, 100, 150)]
+MEMORY_BUDGETS_KB = [scaled(kb, minimum=20) for kb in (50, 100, 150)]
+
+METRICS = (
+    "heavy_hitter_f1",
+    "flow_size_are",
+    "heavy_change_f1",
+    "distribution_wmre",
+    "entropy_re",
+    "cardinality_re",
+)
 
 
 def run():
-    first = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=11)
-    second = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=12)
-    return {
-        memory: evaluate_tasks(first, second, memory_bytes=memory, seed=11,
-                               distribution_iterations=3)
-        for memory in MEMORY_BUDGETS
-    }
+    return run_figure(
+        "fig11",
+        overrides=dict(
+            flows=NUM_FLOWS,
+            memory_kb=tuple(MEMORY_BUDGETS_KB),
+            distribution_iterations=3,
+        ),
+    )
+
+
+def _value(result, memory_kb, metric, algorithm):
+    rows = rows_where(result, memory_kb=memory_kb, metric=metric, algorithm=algorithm)
+    assert len(rows) == 1, (memory_kb, metric, algorithm)
+    return rows[0]["value"]
 
 
 @pytest.mark.benchmark(group="fig11")
 def test_fig11_six_accumulation_tasks(benchmark):
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    metric_names = [
-        ("heavy_hitter_f1", "F1", True),
-        ("flow_size_are", "ARE", False),
-        ("heavy_change_f1", "F1", True),
-        ("distribution_wmre", "WMRE", False),
-        ("entropy_re", "RE", False),
-        ("cardinality_re", "RE", False),
-    ]
-    for metric, unit, _higher_better in metric_names:
-        rows = []
-        algorithms = sorted(
-            {name for result in results.values() for name in getattr(result, metric)}
-        )
-        for memory, result in results.items():
-            values = getattr(result, metric)
-            rows.append(
-                [f"{memory // 1000}KB"] + [round(values.get(a, float('nan')), 4) for a in algorithms]
+    for metric in METRICS:
+        metric_rows = rows_where(result, metric=metric)
+        algorithms = sorted({row["algorithm"] for row in metric_rows})
+        table = []
+        for memory_kb in MEMORY_BUDGETS_KB:
+            values = {
+                row["algorithm"]: row["value"]
+                for row in metric_rows
+                if row["memory_kb"] == memory_kb
+            }
+            table.append(
+                [f"{memory_kb}KB"]
+                + [round(values.get(a, float("nan")), 4) for a in algorithms]
             )
-        print_table(f"Figure 11 ({metric}, {unit})", ["memory"] + algorithms, rows)
+        print_table(f"Figure 11 ({metric})", ["memory"] + algorithms, table)
 
-    largest = results[MEMORY_BUDGETS[-1]]
+    largest = MEMORY_BUDGETS_KB[-1]
     # Tower+Fermat achieves at least comparable accuracy (paper's claim):
-    assert largest.heavy_hitter_f1["tower_fermat"] > 0.95
-    assert largest.heavy_change_f1["tower_fermat"] > 0.9
-    assert largest.flow_size_are["tower_fermat"] < 0.1
-    assert largest.cardinality_re["tower_fermat"] < 0.05
-    assert largest.entropy_re["tower_fermat"] < 0.2
-    assert largest.distribution_wmre["tower_fermat"] < 0.5
+    assert _value(result, largest, "heavy_hitter_f1", "tower_fermat") > 0.95
+    assert _value(result, largest, "heavy_change_f1", "tower_fermat") > 0.9
+    assert _value(result, largest, "flow_size_are", "tower_fermat") < 0.1
+    assert _value(result, largest, "cardinality_re", "tower_fermat") < 0.05
+    assert _value(result, largest, "entropy_re", "tower_fermat") < 0.2
+    assert _value(result, largest, "distribution_wmre", "tower_fermat") < 0.5
     # Accuracy does not degrade as memory grows.
-    smallest = results[MEMORY_BUDGETS[0]]
-    assert largest.heavy_hitter_f1["tower_fermat"] >= smallest.heavy_hitter_f1["tower_fermat"] - 0.05
+    smallest = MEMORY_BUDGETS_KB[0]
+    assert (
+        _value(result, largest, "heavy_hitter_f1", "tower_fermat")
+        >= _value(result, smallest, "heavy_hitter_f1", "tower_fermat") - 0.05
+    )

@@ -6,12 +6,14 @@ DCTCP — small workloads are fully monitored in the healthy state, growing
 flow counts / victim ratios shift memory toward the HL/LL encoders and raise
 the thresholds — while the absolute threshold values reflect each workload's
 skew (CACHE and VL2 pick much smaller thresholds because most flows are tiny).
+
+The sweeps live in the ``workloads`` scenario of the registry; this module
+scales them, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.attention import sweep_num_flows, sweep_victim_ratio
+from conftest import print_table, run_figure, rows_where, scaled
 
 WORKLOADS = ("CACHE", "VL2", "HADOOP")
 FLOW_COUNTS = [scaled(count, minimum=100) for count in (400, 1600, 3200)]
@@ -21,82 +23,73 @@ SCALE = 0.05
 
 
 def run_workload(workload):
-    flows_sweep = sweep_num_flows(
-        workload=workload,
-        flow_counts=FLOW_COUNTS,
-        victim_ratio=0.10,
-        loss_rate=0.05,
-        scale=SCALE,
-        max_epochs=5,
-        seed=14,
+    return run_figure(
+        "workloads",
+        overrides=dict(
+            workload=(workload,),
+            flow_counts=tuple(FLOW_COUNTS),
+            victim_ratios=VICTIM_RATIOS,
+            ratio_flows=NUM_FLOWS_FOR_RATIO,
+            loss_rate=0.05,
+            scale=SCALE,
+            max_epochs=5,
+        ),
     )
-    ratio_sweep = sweep_victim_ratio(
-        workload=workload,
-        victim_ratios=VICTIM_RATIOS,
-        num_flows=NUM_FLOWS_FOR_RATIO,
-        loss_rate=0.05,
-        scale=SCALE,
-        max_epochs=5,
-        seed=15,
-    )
-    return flows_sweep, ratio_sweep
 
 
 @pytest.mark.benchmark(group="fig14-19")
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_attention_on_other_workloads(benchmark, workload):
-    flows_sweep, ratio_sweep = benchmark.pedantic(
-        run_workload, args=(workload,), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(run_workload, args=(workload,), rounds=1, iterations=1)
+    flows_rows = rows_where(result, kind="flows")
+    ratio_rows = rows_where(result, kind="ratio")
 
-    rows = [
-        [
-            point.num_flows,
-            point.level,
-            round(point.memory_division["hh"], 2),
-            round(point.memory_division["hl"], 2),
-            round(point.memory_division["ll"], 2),
-            point.threshold_high,
-            point.threshold_low,
-            round(point.sample_rate, 2),
-        ]
-        for point in flows_sweep.points
-    ]
     print_table(
         f"Figures 14/16/18 ({workload}): attention vs. # flows",
         ["flows", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample"],
-        rows,
-    )
-    rows = [
         [
-            f"{point.victim_ratio * 100:.0f}%",
-            point.level,
-            round(point.memory_division["hl"] + point.memory_division["ll"], 2),
-            point.threshold_high,
-            point.threshold_low,
-            round(point.sample_rate, 2),
-        ]
-        for point in ratio_sweep.points
-    ]
+            [
+                row["flows"],
+                row["level"],
+                round(row["mem_hh"], 2),
+                round(row["mem_hl"], 2),
+                round(row["mem_ll"], 2),
+                row["threshold_high"],
+                row["threshold_low"],
+                round(row["sample_rate"], 2),
+            ]
+            for row in flows_rows
+        ],
+    )
     print_table(
         f"Figures 15/17/19 ({workload}): attention vs. victim ratio",
         ["victims", "state", "HLE+LLE", "T_h", "T_l", "sample"],
-        rows,
+        [
+            [
+                f"{row['victim_ratio'] * 100:.0f}%",
+                row["level"],
+                round(row["mem_hl"] + row["mem_ll"], 2),
+                row["threshold_high"],
+                row["threshold_low"],
+                round(row["sample_rate"], 2),
+            ]
+            for row in ratio_rows
+        ],
     )
 
-    first, last = flows_sweep.points[0], flows_sweep.points[-1]
+    first, last = flows_rows[0], flows_rows[-1]
     # Small workloads: fully monitored.
-    assert first.level == "healthy"
-    assert first.threshold_low == 1
+    assert first["level"] == "healthy"
+    assert first["threshold_low"] == 1
     # Large workloads: attention shifted (threshold raised, memory moved to
     # loss tasks, or ill state entered).
     assert (
-        last.threshold_high > first.threshold_high
-        or last.level == "ill"
-        or last.memory_division["hl"] > first.memory_division["hl"]
+        last["threshold_high"] > first["threshold_high"]
+        or last["level"] == "ill"
+        or last["mem_hl"] > first["mem_hl"]
     )
     # Higher victim ratios never decrease the loss-task memory share.
-    low, high = ratio_sweep.points[0], ratio_sweep.points[-1]
-    low_share = low.memory_division["hl"] + low.memory_division["ll"]
-    high_share = high.memory_division["hl"] + high.memory_division["ll"]
+    low, high = ratio_rows[0], ratio_rows[-1]
+    low_share = low["mem_hl"] + low["mem_ll"]
+    high_share = high["mem_hl"] + high["mem_ll"]
     assert high_share >= low_share - 0.05

@@ -4,120 +4,62 @@ These are testbed wall-clock measurements in the paper; the reproduction
 regenerates them from the timing/bandwidth model calibrated to the appendix's
 constants (see DESIGN.md for the substitution note) plus the live response
 time of the Python controller on a simulated epoch.
-"""
 
-import random
-import time
+The measurements live in the ``overheads`` scenario of the registry; this
+module scales them, prints the rows, and asserts the paper's claims.
+"""
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.controlplane.analysis import packet_loss_detection
-from repro.controlplane.timing import (
-    CollectionModel,
-    epoch_budget_ms,
-    reconfiguration_time_cdf,
-    response_time_ms,
-)
-from repro.dataplane.config import MonitoringConfig, SwitchResources
-from repro.network.simulator import build_testbed_simulator
-from repro.traffic.generator import generate_workload
+from conftest import print_table, run_figure, rows_where, scaled
 
-WORKLOADS = ("DCTCP", "CACHE", "VL2", "HADOOP")
 FLOW_COUNT = scaled(1200, minimum=200)
 
 
-def measured_response_time_ms(workload: str) -> float:
-    """Wall-clock time of the Python controller's per-epoch analysis."""
-    resources = SwitchResources.scaled(0.05)
-    simulator = build_testbed_simulator(resources=resources, seed=20)
-    trace = generate_workload(
-        workload, num_flows=FLOW_COUNT, victim_ratio=0.1, loss_rate=0.05,
-        num_hosts=simulator.topology.num_hosts, seed=20,
-    )
-    simulator.run_epoch(trace)
-    groups = {node: switch.end_epoch() for node, switch in simulator.switches.items()}
-    start = time.perf_counter()
-    packet_loss_detection(groups)
-    return (time.perf_counter() - start) * 1000.0
-
-
 def run():
-    resources = SwitchResources()  # full testbed configuration for the model
-    collection = CollectionModel(resources)
-
-    # Figure 20: modelled response time for the paper's network states, plus
-    # the live response time of this controller on simulated epochs.
-    response_rows = []
-    for num_flows in (10_000, 40_000, 70_000, 100_000):
-        hh_candidates = min(7000, num_flows // 12)
-        hls = min(6000, num_flows // 10)
-        response_rows.append(
-            [num_flows, round(response_time_ms(hh_candidates, hls, 500), 2)]
-        )
-    live_rows = [
-        [workload, round(measured_response_time_ms(workload), 2)] for workload in WORKLOADS
-    ]
-
-    # Figure 21: collection bandwidth vs. epoch length.
-    bandwidth_rows = [
-        [epoch_ms, round(collection.bandwidth_mbps(epoch_ms), 1)]
-        for epoch_ms in (50, 100, 200, 400, 800, 1000)
-    ]
-
-    # Figure 22: CDF of reconfiguration time over random configurations.
-    rng = random.Random(22)
-    configs = []
-    for _ in range(200):
-        m_hl = rng.randrange(resources.min_hl_buckets, resources.downstream_buckets)
-        m_ll = rng.randrange(0, resources.downstream_buckets - m_hl)
-        layout_hh = resources.upstream_buckets - m_hl - m_ll
-        from repro.dataplane.config import EncoderLayout
-
-        configs.append(
-            MonitoringConfig(
-                layout=EncoderLayout(m_hh=layout_hh, m_hl=m_hl, m_ll=m_ll),
-                threshold_high=rng.randrange(1, 1000) + 1000,
-                threshold_low=rng.randrange(1, 1000),
-                sample_rate=rng.random(),
-            )
-        )
-    cdf = reconfiguration_time_cdf(configs, seed=22)
-
-    budget = epoch_budget_ms(
-        resources,
-        num_hh_candidates=4000,
-        num_heavy_losses=3000,
-        num_sampled_light_losses=500,
-        config=resources.initial_config(),
-    )
-    return response_rows, live_rows, bandwidth_rows, cdf, budget
+    return run_figure("overheads", overrides=dict(live_flows=FLOW_COUNT))
 
 
 @pytest.mark.benchmark(group="fig20-22")
 def test_fig20_22_control_loop_overheads(benchmark):
-    response_rows, live_rows, bandwidth_rows, cdf, budget = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    response_rows = rows_where(result, kind="response_model")
+    live_rows = rows_where(result, kind="response_live")
+    bandwidth_rows = rows_where(result, kind="bandwidth")
+    cdf_rows = rows_where(result, kind="reconfig_cdf")
+    budget = result.extras()["epoch_budget_ms"]
 
-    print_table("Figure 20 (model): response time vs. # flows",
-                ["flows", "response ms"], response_rows)
-    print_table("Figure 20 (live Python controller, scaled epochs)",
-                ["workload", "analysis ms"], live_rows)
-    print_table("Figure 21: collection bandwidth vs. epoch length",
-                ["epoch ms", "Mbps"], bandwidth_rows)
-    quantiles = [cdf[int(q * (len(cdf) - 1))] for q in (0.1, 0.5, 0.9)]
-    print_table("Figure 22: reconfiguration time CDF", ["quantile", "ms"],
-                [["p10", round(quantiles[0], 2)], ["p50", round(quantiles[1], 2)],
-                 ["p90", round(quantiles[2], 2)]])
+    print_table(
+        "Figure 20 (model): response time vs. # flows",
+        ["flows", "response ms"],
+        [[row["flows"], round(row["response_ms"], 2)] for row in response_rows],
+    )
+    print_table(
+        "Figure 20 (live Python controller, scaled epochs)",
+        ["workload", "analysis ms"],
+        [[row["workload"], round(row["response_ms"], 2)] for row in live_rows],
+    )
+    print_table(
+        "Figure 21: collection bandwidth vs. epoch length",
+        ["epoch ms", "Mbps"],
+        [[row["epoch_ms"], round(row["mbps"], 1)] for row in bandwidth_rows],
+    )
+    quantiles = {row["quantile"]: row["ms"] for row in cdf_rows}
+    print_table(
+        "Figure 22: reconfiguration time CDF",
+        ["quantile", "ms"],
+        [[f"p{int(q * 100)}", round(quantiles[q], 2)] for q in (0.1, 0.5, 0.9)],
+    )
     print("epoch budget:", {k: round(v, 2) for k, v in budget.items()})
 
+    # The live controller ran on every workload.
+    assert len(live_rows) == 4
     # Figure 20: the paper's response times stay below ~30 ms.
-    assert all(value < 35 for _, value in response_rows)
+    assert all(row["response_ms"] < 35 for row in response_rows)
     # Figure 21: ~320 Mbps at 50 ms epochs, dropping as epochs lengthen.
-    assert 150 < bandwidth_rows[0][1] < 500
-    assert bandwidth_rows[-1][1] < bandwidth_rows[0][1]
+    assert 150 < bandwidth_rows[0]["mbps"] < 500
+    assert bandwidth_rows[-1]["mbps"] < bandwidth_rows[0]["mbps"]
     # Figure 22: reconfiguration takes 2-7 ms (allow a little slack).
-    assert 2.0 <= quantiles[0] and quantiles[2] <= 12.0
+    assert 2.0 <= quantiles[0.1] and quantiles[0.9] <= 12.0
     # Everything fits into a 50 ms epoch.
     assert budget["total_ms"] < 50

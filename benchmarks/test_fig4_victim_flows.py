@@ -4,13 +4,15 @@ Paper protocol: the largest 10K flows of the CAIDA trace traverse one link,
 2K–10K of them are victims with a 1 % loss rate.  FermatSketch's memory and
 decoding time grow with the number of victims, FlowRadar's stay flat (it
 records all flows), and LossRadar sits in between (it records lost packets).
+
+The sweep itself lives in the ``fig4`` scenario of the registry
+(``repro/scenarios/catalog.py``); this module only scales it, prints the
+figure's rows, and asserts the paper's qualitative claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.loss_detection import compare_schemes
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, scaled
 
 #: Scaled-down x-axis (the paper uses 2K..10K victims out of 10K flows).
 NUM_FLOWS = scaled(1000, minimum=200)
@@ -18,50 +20,43 @@ VICTIM_COUNTS = [scaled(count, minimum=40) for count in (200, 400, 600, 800, 100
 
 
 def run_sweep():
-    rows = {}
-    for victims in VICTIM_COUNTS:
-        trace = generate_caida_like_trace(
-            num_flows=NUM_FLOWS,
-            victim_flows=victims,
-            loss_rate=0.01,
-            victim_selection="largest",
-            seed=4,
-        )
-        rows[victims] = compare_schemes(trace, trials=2, seed=4)
-    return rows
+    return run_figure(
+        "fig4",
+        overrides=dict(flows=NUM_FLOWS, victims=tuple(VICTIM_COUNTS), trials=2),
+    )
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4_memory_and_time_vs_victim_flows(benchmark):
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result.rows()
 
-    table = []
-    for victims, measurements in results.items():
-        table.append(
-            [
-                victims,
-                round(measurements["fermat"].memory_megabytes, 4),
-                round(measurements["lossradar"].memory_megabytes, 4),
-                round(measurements["flowradar"].memory_megabytes, 4),
-                round(measurements["fermat"].decode_milliseconds, 2),
-                round(measurements["lossradar"].decode_milliseconds, 2),
-                round(measurements["flowradar"].decode_milliseconds, 2),
-            ]
-        )
     print_table(
         "Figure 4: overhead vs. # victim flows",
         ["victims", "fermat MB", "lossradar MB", "flowradar MB",
          "fermat ms", "lossradar ms", "flowradar ms"],
-        table,
+        [
+            [
+                row["victims"],
+                round(row["fermat_bytes"] / 1e6, 4),
+                round(row["lossradar_bytes"] / 1e6, 4),
+                round(row["flowradar_bytes"] / 1e6, 4),
+                round(row["fermat_ms"], 2),
+                round(row["lossradar_ms"], 2),
+                round(row["flowradar_ms"], 2),
+            ]
+            for row in rows
+        ],
     )
 
-    fermat_memory = [results[v]["fermat"].memory_bytes for v in VICTIM_COUNTS]
-    flowradar_memory = [results[v]["flowradar"].memory_bytes for v in VICTIM_COUNTS]
+    assert [row["victims"] for row in rows] == VICTIM_COUNTS
+    fermat_memory = [row["fermat_bytes"] for row in rows]
+    flowradar_memory = [row["flowradar_bytes"] for row in rows]
     # Fermat memory grows with the number of victims...
     assert fermat_memory[-1] > fermat_memory[0] * 2
     # ...while FlowRadar's is victim-independent (all flows recorded).
     assert flowradar_memory[-1] < flowradar_memory[0] * 1.5
     # Fermat always uses the least memory.
-    for victims in VICTIM_COUNTS:
-        assert results[victims]["fermat"].memory_bytes < results[victims]["flowradar"].memory_bytes
-        assert results[victims]["fermat"].memory_bytes < results[victims]["lossradar"].memory_bytes
+    for row in rows:
+        assert row["fermat_bytes"] < row["flowradar_bytes"]
+        assert row["fermat_bytes"] < row["lossradar_bytes"]

@@ -4,13 +4,14 @@ Paper protocol: the largest 10K flows traverse the link, the largest 100 are
 victims, and their loss rate sweeps 10–50 %.  FermatSketch and FlowRadar are
 insensitive to the loss rate (they track flows); LossRadar's overhead grows
 linearly with the number of lost packets.
+
+The sweep lives in the ``fig5`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.loss_detection import compare_schemes
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, scaled
 
 NUM_FLOWS = scaled(1000, minimum=200)
 NUM_VICTIMS = scaled(100, minimum=20)
@@ -18,50 +19,45 @@ LOSS_RATES = (0.10, 0.20, 0.30, 0.40, 0.50)
 
 
 def run_sweep():
-    results = {}
-    for loss_rate in LOSS_RATES:
-        trace = generate_caida_like_trace(
-            num_flows=NUM_FLOWS,
-            victim_flows=NUM_VICTIMS,
-            loss_rate=loss_rate,
-            victim_selection="largest",
-            seed=5,
-        )
-        results[loss_rate] = compare_schemes(trace, trials=2, seed=5)
-    return results
+    return run_figure(
+        "fig5",
+        overrides=dict(
+            flows=NUM_FLOWS, victims=NUM_VICTIMS, loss_rate=LOSS_RATES, trials=2
+        ),
+    )
 
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_memory_and_time_vs_loss_rate(benchmark):
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result.rows()
 
-    table = []
-    for loss_rate, measurements in results.items():
-        table.append(
-            [
-                f"{int(loss_rate * 100)}%",
-                round(measurements["fermat"].memory_megabytes, 4),
-                round(measurements["lossradar"].memory_megabytes, 4),
-                round(measurements["flowradar"].memory_megabytes, 4),
-                round(measurements["fermat"].decode_milliseconds, 2),
-                round(measurements["lossradar"].decode_milliseconds, 2),
-                round(measurements["flowradar"].decode_milliseconds, 2),
-            ]
-        )
     print_table(
         "Figure 5: overhead vs. packet loss rate",
         ["loss rate", "fermat MB", "lossradar MB", "flowradar MB",
          "fermat ms", "lossradar ms", "flowradar ms"],
-        table,
+        [
+            [
+                f"{int(row['loss_rate'] * 100)}%",
+                round(row["fermat_bytes"] / 1e6, 4),
+                round(row["lossradar_bytes"] / 1e6, 4),
+                round(row["flowradar_bytes"] / 1e6, 4),
+                round(row["fermat_ms"], 2),
+                round(row["lossradar_ms"], 2),
+                round(row["flowradar_ms"], 2),
+            ]
+            for row in rows
+        ],
     )
 
-    fermat = [results[r]["fermat"].memory_bytes for r in LOSS_RATES]
-    lossradar = [results[r]["lossradar"].memory_bytes for r in LOSS_RATES]
+    assert [row["loss_rate"] for row in rows] == list(LOSS_RATES)
+    fermat = [row["fermat_bytes"] for row in rows]
+    lossradar = [row["lossradar_bytes"] for row in rows]
     # FermatSketch memory is independent of the loss rate (within noise)...
     assert max(fermat) < min(fermat) * 2.5
     # ...while LossRadar grows roughly linearly with lost packets.
     assert lossradar[-1] > lossradar[0] * 2.5
     # FermatSketch wins everywhere.
-    for rate in LOSS_RATES:
-        assert results[rate]["fermat"].memory_bytes < results[rate]["lossradar"].memory_bytes
-        assert results[rate]["fermat"].memory_bytes < results[rate]["flowradar"].memory_bytes
+    for row in rows:
+        assert row["fermat_bytes"] < row["lossradar_bytes"]
+        assert row["fermat_bytes"] < row["flowradar_bytes"]

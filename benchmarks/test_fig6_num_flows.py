@@ -3,62 +3,55 @@
 Paper protocol: 1K–100K flows traverse the link, the largest 100 are victims
 at a 1 % loss rate.  FermatSketch and LossRadar are insensitive to the number
 of flows; FlowRadar's overhead grows linearly with it.
+
+The sweep lives in the ``fig6`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.loss_detection import compare_schemes
-from repro.traffic.generator import generate_caida_like_trace
+from conftest import print_table, run_figure, scaled
 
 FLOW_COUNTS = [scaled(count, minimum=100) for count in (250, 500, 1000, 2000, 4000)]
 NUM_VICTIMS = scaled(100, minimum=20)
 
 
 def run_sweep():
-    results = {}
-    for num_flows in FLOW_COUNTS:
-        trace = generate_caida_like_trace(
-            num_flows=num_flows,
-            victim_flows=min(NUM_VICTIMS, num_flows),
-            loss_rate=0.01,
-            victim_selection="largest",
-            seed=6,
-        )
-        results[num_flows] = compare_schemes(trace, trials=2, seed=6)
-    return results
+    return run_figure(
+        "fig6",
+        overrides=dict(flows=tuple(FLOW_COUNTS), victims=NUM_VICTIMS, trials=2),
+    )
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_memory_and_time_vs_num_flows(benchmark):
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result.rows()
 
-    table = []
-    for num_flows, measurements in results.items():
-        table.append(
-            [
-                num_flows,
-                round(measurements["fermat"].memory_megabytes, 4),
-                round(measurements["lossradar"].memory_megabytes, 4),
-                round(measurements["flowradar"].memory_megabytes, 4),
-                round(measurements["fermat"].decode_milliseconds, 2),
-                round(measurements["lossradar"].decode_milliseconds, 2),
-                round(measurements["flowradar"].decode_milliseconds, 2),
-            ]
-        )
     print_table(
         "Figure 6: overhead vs. # flows",
         ["flows", "fermat MB", "lossradar MB", "flowradar MB",
          "fermat ms", "lossradar ms", "flowradar ms"],
-        table,
+        [
+            [
+                row["flows"],
+                round(row["fermat_bytes"] / 1e6, 4),
+                round(row["lossradar_bytes"] / 1e6, 4),
+                round(row["flowradar_bytes"] / 1e6, 4),
+                round(row["fermat_ms"], 2),
+                round(row["lossradar_ms"], 2),
+                round(row["flowradar_ms"], 2),
+            ]
+            for row in rows
+        ],
     )
 
-    fermat = [results[n]["fermat"].memory_bytes for n in FLOW_COUNTS]
-    flowradar = [results[n]["flowradar"].memory_bytes for n in FLOW_COUNTS]
+    assert [row["flows"] for row in rows] == FLOW_COUNTS
+    fermat = [row["fermat_bytes"] for row in rows]
+    flowradar = [row["flowradar_bytes"] for row in rows]
     # FermatSketch memory is independent of the number of flows...
     assert max(fermat) < min(fermat) * 2.5
     # ...while FlowRadar grows with it.
     assert flowradar[-1] > flowradar[0] * 4
     # FermatSketch always wins; the gap widens with the flow count.
-    assert results[FLOW_COUNTS[-1]]["flowradar"].memory_bytes > \
-        10 * results[FLOW_COUNTS[-1]]["fermat"].memory_bytes
+    assert rows[-1]["flowradar_bytes"] > 10 * rows[-1]["fermat_bytes"]

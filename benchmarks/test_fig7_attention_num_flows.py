@@ -4,71 +4,71 @@ Paper protocol: 10K–100K flows with a fixed 10 % victim ratio on the testbed.
 As the flow count grows ChameleMon first raises T_h (fewer HH candidates),
 then allocates more memory to the HL encoders, and finally transitions to the
 ill state (LL encoder allocated, T_l > 1, sample rate < 1).
+
+The sweep lives in the ``fig7`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.attention import sweep_num_flows
+from conftest import print_table, run_figure, scaled
 
 FLOW_COUNTS = [scaled(count, minimum=100) for count in (400, 800, 1600, 2400, 3200)]
 SCALE = 0.05
 
 
 def run_sweep():
-    return sweep_num_flows(
-        workload="DCTCP",
-        flow_counts=FLOW_COUNTS,
-        victim_ratio=0.10,
-        loss_rate=0.05,
-        scale=SCALE,
-        max_epochs=6,
-        seed=7,
+    return run_figure(
+        "fig7",
+        overrides=dict(
+            flows=tuple(FLOW_COUNTS),
+            victim_ratio=0.10,
+            loss_rate=0.05,
+            scale=SCALE,
+            max_epochs=6,
+        ),
     )
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_attention_vs_num_flows(benchmark):
-    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result.rows()
 
-    table = [
-        [
-            point.num_flows,
-            point.level,
-            round(point.memory_division["hh"], 2),
-            round(point.memory_division["hl"], 2),
-            round(point.memory_division["ll"], 2),
-            point.decoded_flows["hh"],
-            point.decoded_flows["hl"],
-            point.decoded_flows["ll"],
-            point.threshold_high,
-            point.threshold_low,
-            round(point.sample_rate, 3),
-            round(point.load_factor, 2),
-        ]
-        for point in sweep.points
-    ]
     print_table(
         "Figure 7: attention vs. # flows (DCTCP)",
         ["flows", "state", "HHE", "HLE", "LLE", "#HH", "#HL", "#LL",
          "T_h", "T_l", "sample", "load"],
-        table,
+        [
+            [
+                row["flows"],
+                row["level"],
+                round(row["mem_hh"], 2),
+                round(row["mem_hl"], 2),
+                round(row["mem_ll"], 2),
+                row["decoded_hh"],
+                row["decoded_hl"],
+                row["decoded_ll"],
+                row["threshold_high"],
+                row["threshold_low"],
+                round(row["sample_rate"], 3),
+                round(row["load_factor"], 2),
+            ]
+            for row in rows
+        ],
     )
 
-    first, last = sweep.points[0], sweep.points[-1]
+    first, last = rows[0], rows[-1]
     # Small workloads are monitored completely: healthy state, thresholds at 1.
-    assert first.level == "healthy"
-    assert first.threshold_low == 1
+    assert first["level"] == "healthy"
+    assert first["threshold_low"] == 1
     # Large workloads shift attention to packet-loss tasks: either the HL
     # encoder grew or the system entered the ill state.
-    assert (
-        last.level == "ill"
-        or last.memory_division["hl"] > first.memory_division["hl"]
-    )
+    assert last["level"] == "ill" or last["mem_hl"] > first["mem_hl"]
     # T_h rises as the number of flows grows.
-    assert last.threshold_high > first.threshold_high
+    assert last["threshold_high"] > first["threshold_high"]
     # In the ill state the LL encoder is allocated and sampling kicks in.
-    for point in sweep.points:
-        if point.level == "ill":
-            assert point.memory_division["ll"] > 0
-            assert point.threshold_low > 1 or point.sample_rate < 1.0
+    for row in rows:
+        if row["level"] == "ill":
+            assert row["mem_ll"] > 0
+            assert row["threshold_low"] > 1 or row["sample_rate"] < 1.0

@@ -3,12 +3,14 @@
 Paper protocol: 50K flows, victim ratio swept from 2.5 % to 25 %.  With few
 victims everything is monitored in the healthy state; as the ratio grows the
 HL encoders expand and eventually the system transitions to the ill state.
+
+The sweep lives in the ``fig8`` scenario of the registry; this module scales
+it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.attention import sweep_victim_ratio
+from conftest import print_table, run_figure, scaled
 
 NUM_FLOWS = scaled(1600, minimum=200)
 VICTIM_RATIOS = (0.025, 0.05, 0.10, 0.175, 0.25)
@@ -16,51 +18,52 @@ SCALE = 0.05
 
 
 def run_sweep():
-    return sweep_victim_ratio(
-        workload="DCTCP",
-        victim_ratios=VICTIM_RATIOS,
-        num_flows=NUM_FLOWS,
-        loss_rate=0.05,
-        scale=SCALE,
-        max_epochs=6,
-        seed=8,
+    return run_figure(
+        "fig8",
+        overrides=dict(
+            flows=NUM_FLOWS,
+            victim_ratio=VICTIM_RATIOS,
+            loss_rate=0.05,
+            scale=SCALE,
+            max_epochs=6,
+        ),
     )
 
 
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_attention_vs_victim_ratio(benchmark):
-    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = result.rows()
 
-    table = [
-        [
-            f"{point.victim_ratio * 100:.1f}%",
-            point.level,
-            round(point.memory_division["hh"], 2),
-            round(point.memory_division["hl"], 2),
-            round(point.memory_division["ll"], 2),
-            point.decoded_flows["hh"],
-            point.decoded_flows["hl"],
-            point.decoded_flows["ll"],
-            point.threshold_high,
-            point.threshold_low,
-            round(point.sample_rate, 3),
-            round(point.load_factor, 2),
-        ]
-        for point in sweep.points
-    ]
     print_table(
         "Figure 8: attention vs. victim-flow ratio (DCTCP)",
         ["victims", "state", "HHE", "HLE", "LLE", "#HH", "#HL", "#LL",
          "T_h", "T_l", "sample", "load"],
-        table,
+        [
+            [
+                f"{row['victim_ratio'] * 100:.1f}%",
+                row["level"],
+                round(row["mem_hh"], 2),
+                round(row["mem_hl"], 2),
+                round(row["mem_ll"], 2),
+                row["decoded_hh"],
+                row["decoded_hl"],
+                row["decoded_ll"],
+                row["threshold_high"],
+                row["threshold_low"],
+                round(row["sample_rate"], 3),
+                round(row["load_factor"], 2),
+            ]
+            for row in rows
+        ],
     )
 
-    first, last = sweep.points[0], sweep.points[-1]
-    assert first.level == "healthy"
+    first, last = rows[0], rows[-1]
+    assert first["level"] == "healthy"
     # More victims -> more memory for packet-loss tasks (HL + LL share grows).
-    first_loss_share = first.memory_division["hl"] + first.memory_division["ll"]
-    last_loss_share = last.memory_division["hl"] + last.memory_division["ll"]
+    first_loss_share = first["mem_hl"] + first["mem_ll"]
+    last_loss_share = last["mem_hl"] + last["mem_ll"]
     assert last_loss_share >= first_loss_share
     # At the highest ratios the system either went ill or dedicated most of
     # the downstream capacity to HLs.
-    assert last.level == "ill" or last_loss_share > 0.3
+    assert last["level"] == "ill" or last_loss_share > 0.3

@@ -4,12 +4,14 @@ Paper protocol: 45 consecutive epochs, the network state (flow count or victim
 ratio) changes every 5 epochs, first degrading from healthy to ill and then
 recovering.  ChameleMon shifts measurement attention within at most 3 epochs
 of every change.
+
+The timeline lives in the ``fig9`` scenario of the registry; this module
+scales it, prints the rows, and asserts the paper's claims.
 """
 
 import pytest
 
-from conftest import print_table, scaled
-from repro.experiments.attention import run_timeline
+from conftest import print_table, run_figure, scaled
 
 SCHEDULE = tuple(
     (scaled(flows, minimum=100), ratio)
@@ -30,48 +32,50 @@ SCALE = 0.05
 
 
 def run():
-    return run_timeline(
-        workload="DCTCP",
-        schedule=SCHEDULE,
-        epochs_per_stage=EPOCHS_PER_STAGE,
-        loss_rate=0.05,
-        scale=SCALE,
-        seed=9,
+    return run_figure(
+        "fig9",
+        overrides=dict(
+            schedule=SCHEDULE,
+            epochs_per_stage=EPOCHS_PER_STAGE,
+            loss_rate=0.05,
+            scale=SCALE,
+        ),
     )
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_attention_timeline(benchmark):
-    timeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.rows()
+    extras = result.extras()
 
-    table = [
-        [
-            epoch.epoch,
-            epoch.num_flows,
-            f"{epoch.victim_ratio * 100:.0f}%",
-            epoch.level,
-            round(epoch.memory_division["hh"], 2),
-            round(epoch.memory_division["hl"], 2),
-            round(epoch.memory_division["ll"], 2),
-            epoch.threshold_high,
-            epoch.threshold_low,
-            round(epoch.sample_rate, 2),
-        ]
-        for epoch in timeline.epochs
-    ]
     print_table(
         "Figure 9: attention vs. epoch (DCTCP, 8 network-state changes)",
         ["epoch", "flows", "victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample"],
-        table,
+        [
+            [
+                row["epoch"],
+                row["flows"],
+                f"{row['victim_ratio'] * 100:.0f}%",
+                row["level"],
+                round(row["mem_hh"], 2),
+                round(row["mem_hl"], 2),
+                round(row["mem_ll"], 2),
+                row["threshold_high"],
+                row["threshold_low"],
+                round(row["sample_rate"], 2),
+            ]
+            for row in rows
+        ],
     )
-    print("epochs to shift per state change:", timeline.shift_epochs)
+    print("epochs to shift per state change:", extras["shift_epochs"])
 
-    assert len(timeline.epochs) == len(SCHEDULE) * EPOCHS_PER_STAGE
-    assert len(timeline.shift_epochs) == len(SCHEDULE) - 1
+    assert len(rows) == len(SCHEDULE) * EPOCHS_PER_STAGE
+    assert len(extras["shift_epochs"]) == len(SCHEDULE) - 1
     # The network degrades to the ill state in the middle of the window and
     # recovers to healthy at the end.
-    assert timeline.epochs[-1].level == "healthy"
-    assert any(epoch.level == "ill" for epoch in timeline.epochs)
+    assert rows[-1]["level"] == "healthy"
+    assert any(row["level"] == "ill" for row in rows)
     # The paper reports shifts within at most 3 epochs; allow one extra epoch
     # of slack at the reduced simulation scale.
-    assert timeline.max_shift_epochs() <= EPOCHS_PER_STAGE
+    assert extras["max_shift_epochs"] <= EPOCHS_PER_STAGE

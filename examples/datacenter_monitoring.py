@@ -9,63 +9,55 @@ flows that only heavy losses can be monitored exactly) and then recovers.
 Watch the per-epoch output: the memory division between the HH / HL / LL
 encoders, the classification thresholds, and the sample rate all change as the
 controller shifts measurement attention, exactly as in Figure 9 of the paper.
+The window itself is the registered ``fig9`` scenario with a custom schedule.
 
 Run:  python examples/datacenter_monitoring.py
 """
 
 from __future__ import annotations
 
-from repro import ChameleMon, SwitchResources, generate_workload
+from repro.scenarios import run_scenario
 
 #: (number of flows, victim-flow ratio) per stage; each stage lasts 3 epochs.
-SCHEDULE = [
+SCHEDULE = (
     (500, 0.02),   # healthy: everything fits
     (1500, 0.10),  # more flows, more victims: HL encoders grow, T_h rises
     (3000, 0.25),  # ill: victims no longer fit, HLs selected, LLs sampled
     (1500, 0.10),  # recovering
     (500, 0.02),   # healthy again
-]
+)
 EPOCHS_PER_STAGE = 3
 
 
 def main() -> None:
     # A 1/20-scale testbed keeps this example fast; raise the scale to stress it.
-    system = ChameleMon(resources=SwitchResources.scaled(0.05), seed=3)
-    print(f"fat-tree testbed: {system.simulator.topology.num_switches} switches, "
-          f"{system.num_hosts} hosts, ChameleMon on {len(system.simulator.switches)} ToRs")
+    result = run_scenario(
+        "fig9",
+        overrides=dict(
+            schedule=SCHEDULE,
+            epochs_per_stage=EPOCHS_PER_STAGE,
+            loss_rate=0.05,
+            scale=0.05,
+        ),
+        seed=3,
+    )
+
     header = (f"{'epoch':>5} {'flows':>6} {'victims':>8} {'state':>8} "
               f"{'HHE/HLE/LLE':>17} {'T_h':>6} {'T_l':>6} {'sample':>7} {'loss F1':>8}")
     print(header)
     print("-" * len(header))
+    for row in result.rows():
+        print(
+            f"{row['epoch']:>5} {row['flows']:>6} {row['victim_ratio']:>7.0%} "
+            f"{row['level']:>8} "
+            f"{row['mem_hh']:>5.2f}/{row['mem_hl']:>4.2f}/{row['mem_ll']:>4.2f} "
+            f"{row['threshold_high']:>6} {row['threshold_low']:>6} "
+            f"{row['sample_rate']:>7.2f} {row['loss_f1']:>8.2f}"
+        )
 
-    epoch = 0
-    for num_flows, victim_ratio in SCHEDULE:
-        for _ in range(EPOCHS_PER_STAGE):
-            trace = generate_workload(
-                "DCTCP",
-                num_flows=num_flows,
-                victim_ratio=victim_ratio,
-                loss_rate=0.05,
-                num_hosts=system.num_hosts,
-                seed=100 + epoch,
-            )
-            result = system.run_epoch(trace)
-            division = result.memory_division()
-            accuracy = result.loss_accuracy()
-            print(
-                f"{epoch:>5} {num_flows:>6} {victim_ratio:>7.0%} {result.level.value:>8} "
-                f"{division['hh']:>5.2f}/{division['hl']:>4.2f}/{division['ll']:>4.2f} "
-                f"{result.config.threshold_high:>6} {result.config.threshold_low:>6} "
-                f"{result.config.sample_rate:>7.2f} {accuracy['f1']:>8.2f}"
-            )
-            epoch += 1
-
-    final = system.results[-1]
-    print("\nfinal state:", final.level.value)
-    print("final configuration:", final.config.describe())
-    losses = final.report.loss_report.all_losses()
-    print(f"victim flows reported in the last epoch: {len(losses)} "
-          f"(ground truth: {final.truth.num_victims()})")
+    extras = result.extras()
+    print(f"\nepochs to shift per state change: {extras['shift_epochs']} "
+          f"(paper: at most 3)")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ Run:  python examples/heavy_hitter_telemetry.py
 
 from __future__ import annotations
 
-from repro import CountMinSketch, TowerFermat
+from repro.sketches.registry import build
 from repro.metrics import (
     average_relative_error,
     empirical_entropy,
@@ -34,8 +34,9 @@ def main() -> None:
     truth_distribution = {size: float(count) for size, count in trace.size_distribution().items()}
     truth_hh = {flow for flow, size in truth_sizes.items() if size > HEAVY_HITTER_THRESHOLD}
 
-    combo = TowerFermat.for_memory(MEMORY_BYTES, threshold=PROMOTION_THRESHOLD, seed=1)
-    baseline = CountMinSketch.for_memory(MEMORY_BYTES, seed=1)
+    # Both sketches come from the config-driven registry (repro.sketches).
+    combo = build("tower_fermat", memory_bytes=MEMORY_BYTES, threshold=PROMOTION_THRESHOLD, seed=1)
+    baseline = build("cm", memory_bytes=MEMORY_BYTES, seed=1)
     for flow in trace.flows:
         combo.insert(flow.flow_id, flow.size)
         baseline.insert(flow.flow_id, flow.size)
@@ -76,7 +77,7 @@ def main() -> None:
 
     # 6. Heavy-change detection against a second epoch.
     second = generate_caida_like_trace(num_flows=NUM_FLOWS, seed=12)
-    combo2 = TowerFermat.for_memory(MEMORY_BYTES, threshold=PROMOTION_THRESHOLD, seed=1)
+    combo2 = build("tower_fermat", memory_bytes=MEMORY_BYTES, threshold=PROMOTION_THRESHOLD, seed=1)
     for flow in second.flows:
         combo2.insert(flow.flow_id, flow.size)
     change_threshold = 250

@@ -7,19 +7,21 @@ succeeds, and time the decoding.  FermatSketch's memory tracks the number of
 *victim flows*, FlowRadar's tracks the number of *flows*, and LossRadar's
 tracks the number of *lost packets*.
 
+Each labelled workload is one point of the registered ``fig4`` scenario with
+different overrides — the experiment logic lives in the registry, not here.
+
 Run:  python examples/loss_baseline_comparison.py
 """
 
 from __future__ import annotations
 
-from repro.experiments import compare_schemes
-from repro.traffic import generate_caida_like_trace
+from repro.scenarios import run_scenario
 
 SCENARIOS = [
-    ("few victims, low loss", dict(num_flows=4000, victim_flows=100, loss_rate=0.01)),
-    ("many victims, low loss", dict(num_flows=4000, victim_flows=1000, loss_rate=0.01)),
-    ("few victims, heavy loss", dict(num_flows=4000, victim_flows=100, loss_rate=0.30)),
-    ("many flows", dict(num_flows=16000, victim_flows=100, loss_rate=0.01)),
+    ("few victims, low loss", dict(flows=4000, victims=(100,), loss_rate=0.01)),
+    ("many victims, low loss", dict(flows=4000, victims=(1000,), loss_rate=0.01)),
+    ("few victims, heavy loss", dict(flows=4000, victims=(100,), loss_rate=0.30)),
+    ("many flows", dict(flows=16000, victims=(100,), loss_rate=0.01)),
 ]
 
 
@@ -27,15 +29,14 @@ def main() -> None:
     header = f"{'scenario':<24} {'scheme':<10} {'memory (KB)':>12} {'decode (ms)':>12} {'victims found':>14}"
     print(header)
     print("-" * len(header))
-    for label, params in SCENARIOS:
-        trace = generate_caida_like_trace(victim_selection="largest", seed=42, **params)
-        results = compare_schemes(trace, trials=2, seed=42)
+    for label, overrides in SCENARIOS:
+        result = run_scenario("fig4", overrides=dict(trials=2, **overrides), seed=42)
+        row = result.rows()[0]
         for scheme in ("fermat", "lossradar", "flowradar"):
-            measurement = results[scheme]
             print(
-                f"{label:<24} {scheme:<10} {measurement.memory_bytes / 1000:>12.1f} "
-                f"{measurement.decode_milliseconds:>12.2f} "
-                f"{len(measurement.detected_losses):>14d}"
+                f"{label:<24} {scheme:<10} {row[f'{scheme}_bytes'] / 1000:>12.1f} "
+                f"{row[f'{scheme}_ms']:>12.2f} "
+                f"{row[f'{scheme}_victims']:>14d}"
             )
         print()
 

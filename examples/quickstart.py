@@ -1,65 +1,66 @@
 #!/usr/bin/env python3
-"""Quickstart: FermatSketch for packet-loss detection on a single link.
+"""Quickstart: the scenario API — run a paper figure in four lines.
 
-This example mirrors the paper's core idea at the smallest possible scale:
-
-1. deploy one FermatSketch upstream and one downstream of a link,
-2. encode every packet's flow ID on both sides,
-3. subtract the downstream sketch from the upstream sketch, and
-4. decode the difference — it contains exactly the victim flows and how many
-   packets each of them lost, using memory proportional to the number of
-   victim flows rather than the number of flows or lost packets.
+Every experiment in this repository is a registered *scenario*: a declarative
+spec (workload parameters, sweep axis, seed policy) executed by a sweep
+runner that can fan points out over a process pool and returns typed,
+serializable results.  This example runs a scaled-down Figure 4 — packet-loss
+detection overhead vs. the number of victim flows — twice, serially and with
+four worker processes, and shows that the rows are identical.
 
 Run:  python examples/quickstart.py
+
+The same experiment from the command line:
+
+    python -m repro.cli run fig4 --set flows=2000 --jobs 4 --json -
 """
 
 from __future__ import annotations
 
-import random
-
-from repro import FermatSketch
-from repro.traffic import generate_caida_like_trace
+from repro.scenarios import get_scenario, run_scenario
 
 
 def main() -> None:
-    # A synthetic CAIDA-like workload: 5 000 flows, the 200 largest of which
-    # lose about 2 % of their packets somewhere on the link.
-    trace = generate_caida_like_trace(
-        num_flows=5_000,
-        victim_flows=200,
-        loss_rate=0.02,
-        victim_selection="largest",
-        seed=7,
+    # What is fig4?  Scenarios are self-describing.
+    spec = get_scenario("fig4")
+    print(f"scenario {spec.name}: {spec.title}")
+    print(f"  sweep axis: {spec.axis}, defaults: {dict(spec.params)}\n")
+
+    # Run it, scaled down, across 4 processes.  Per-point seeds are derived
+    # deterministically, so jobs=4 produces the same rows as jobs=1.
+    overrides = dict(flows=2000, victims=(100, 200, 400), trials=1)
+    result = run_scenario("fig4", overrides=overrides, jobs=4)
+    serial = run_scenario("fig4", overrides=overrides, jobs=1)
+
+    # Everything except the decode wall times (fig4 measures them, and wall
+    # clocks vary run to run) is bit-identical between jobs=4 and jobs=1.
+    def deterministic(rows):
+        return [
+            {k: v for k, v in row.items() if not k.endswith("_ms")} for row in rows
+        ]
+
+    assert deterministic(result.rows()) == deterministic(serial.rows())
+
+    print(f"{'victims':>8} {'fermat KB':>10} {'lossradar KB':>13} {'flowradar KB':>13}")
+    for row in result.rows():
+        print(
+            f"{row['victims']:>8} {row['fermat_bytes'] / 1000:>10.1f} "
+            f"{row['lossradar_bytes'] / 1000:>13.1f} "
+            f"{row['flowradar_bytes'] / 1000:>13.1f}"
+        )
+    print(
+        f"\n{len(result.points)} sweep points, jobs={result.jobs}, "
+        f"{result.wall_seconds:.2f}s (serial: {serial.wall_seconds:.2f}s); "
+        "rows identical across both runs"
     )
-    print(f"workload: {len(trace)} flows, {trace.num_packets()} packets, "
-          f"{trace.num_victims()} victim flows, {trace.total_losses()} lost packets")
 
-    # Size the sketch for the victims only (70 % target load factor, d = 3).
-    upstream = FermatSketch.for_flow_count(trace.num_victims(), load_factor=0.7, seed=1)
-    downstream = upstream.empty_like()
-    print(f"FermatSketch memory: {upstream.memory_bytes() / 1000:.1f} KB per direction")
+    # Results are typed objects that serialize to JSON/CSV for archiving.
+    print("\nfirst 300 chars of result.to_json():")
+    print(result.to_json()[:300], "...")
 
-    # Encode the packets entering and exiting the link.
-    rng = random.Random(7)
-    for flow in trace.flows:
-        upstream.insert(flow.flow_id, flow.size)
-        delivered = flow.size - flow.lost_packets
-        if delivered:
-            downstream.insert(flow.flow_id, delivered)
-
-    # The difference encodes exactly the lost packets, aggregated per flow.
-    delta = upstream - downstream
-    result = delta.decode()
-    print(f"decode success: {result.success}, victim flows decoded: {len(result.flows)}")
-
-    truth = trace.loss_map()
-    exact = sum(1 for flow, lost in result.positive_flows().items() if truth.get(flow) == lost)
-    print(f"victim flows with exactly correct loss counts: {exact}/{len(truth)}")
-
-    worst = sorted(result.positive_flows().items(), key=lambda item: -item[1])[:5]
-    print("five flows with the most lost packets:")
-    for flow_id, lost in worst:
-        print(f"  flow {flow_id:>10d}  lost {lost} packets")
+    print("\nReading the table: FermatSketch's memory follows the victim-flow")
+    print("count — the paper's core claim — while FlowRadar records all flows")
+    print("and LossRadar records all lost packets.")
 
 
 if __name__ == "__main__":

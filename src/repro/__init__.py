@@ -30,6 +30,15 @@ from .dataplane import (
     SwitchResources,
 )
 from .network import FatTreeTopology, NetworkSimulator, build_testbed_simulator
+from .scenarios import (
+    RunResult,
+    Scenario,
+    SweepResult,
+    SweepRunner,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from .sketches import (
     CountMinSketch,
     CUSketch,
@@ -60,6 +69,10 @@ __all__ = [
     "MonitoringConfig",
     "NetworkLevel",
     "NetworkSimulator",
+    "RunResult",
+    "Scenario",
+    "SweepResult",
+    "SweepRunner",
     "SwitchResources",
     "TowerFermat",
     "TowerSketch",
@@ -67,5 +80,8 @@ __all__ = [
     "build_testbed_simulator",
     "generate_caida_like_trace",
     "generate_workload",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

@@ -1,24 +1,33 @@
-"""Command-line interface: regenerate the paper's experiments from a shell.
+"""Command-line interface: a thin shell over the scenario registry.
 
-Usage (after installation, or with ``PYTHONPATH=src``)::
+Every experiment surface of the repository is a registered scenario (see
+``repro/scenarios/catalog.py``); the CLI only resolves names, parses
+overrides, and formats results.  Usage::
 
     python -m repro.cli list
-    python -m repro.cli fig4 --flows 1000 --victims 200 400 600
-    python -m repro.cli fig7 --flows 400 800 1600 --scale 0.05
-    python -m repro.cli fig11 --memory-kb 50 100 150
-    python -m repro.cli demo
+    python -m repro.cli describe fig4
+    python -m repro.cli run fig4 --set victims=100,200 --jobs 4 --json out.json
+    python -m repro.cli run fig11 --set memory_kb=50,100 --csv fig11.csv
+    python -m repro.cli --seed 3 run fig7 --set flows=400,800
 
-Every sub-command prints the same rows/series as the corresponding benchmark
-in ``benchmarks/`` but lets the sizes be chosen from the command line, which
-is convenient for scaling a single experiment up toward the paper's testbed
-sizes without re-running the whole suite.
+``run`` executes any registered scenario; ``--jobs N`` fans the sweep points
+out over a process pool (rows are identical to the serial run).  ``--json -``
+prints the machine-readable result to stdout instead of a table.
+
+The historical per-figure sub-commands (``fig4``, ``fig7`` … ``demo``) remain
+as aliases that map their legacy flags onto scenario overrides and route
+through the same registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .scenarios import SweepRunner, get_scenario, iter_scenarios
+from .scenarios.results import SweepResult
+from .scenarios.spec import Scenario, ScenarioError
 
 
 def _print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
@@ -33,275 +42,477 @@ def _print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obj
         print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
 
 
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _print_rows(title: str, rows: List[Dict[str, Any]]) -> None:
+    """Print row dicts as one aligned table per ``kind`` group."""
+    if not rows:
+        print(f"\n=== {title} === (no rows)")
+        return
+    groups: List[tuple] = []
+    for row in rows:
+        kind = row.get("kind")
+        if not groups or groups[-1][0] != kind:
+            groups.append((kind, []))
+        groups[-1][1].append(row)
+    for kind, group in groups:
+        headers: List[str] = []
+        for row in group:
+            for key in row:
+                if key != "kind" and key not in headers:
+                    headers.append(key)
+        label = f"{title} [{kind}]" if kind is not None else title
+        _print_table(
+            label, headers, [[_format_cell(row.get(h, "")) for h in headers] for row in group]
+        )
+
+
+def _emit(result: SweepResult, args: argparse.Namespace) -> None:
+    """Write/print a sweep result according to --json/--csv/--quiet."""
+    json_out = getattr(args, "json_out", None)
+    csv_out = getattr(args, "csv_out", None)
+    if json_out == "-":
+        print(result.to_json())
+    elif json_out:
+        result.to_json(path=json_out)
+        print(f"wrote {json_out}", file=sys.stderr)
+    if csv_out == "-":
+        print(result.to_csv())
+    elif csv_out:
+        result.to_csv(path=csv_out)
+        print(f"wrote {csv_out}", file=sys.stderr)
+    if json_out == "-" or csv_out == "-" or getattr(args, "quiet", False):
+        return
+    spec = get_scenario(result.scenario)
+    _print_rows(f"{result.scenario}: {spec.title}", result.rows())
+    for key, value in result.extras().items():
+        rendered = str(value)
+        if len(rendered) <= 120:  # skip bulky payloads like full CDFs
+            print(f"{key}: {rendered}")
+    print(
+        f"[{result.scenario}] {len(result.points)} point(s), jobs={result.jobs}, "
+        f"seed={result.seed}, {result.wall_seconds:.2f}s"
+    )
+
+
+def _parse_overrides(pairs: Iterable[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ScenarioError(f"--set expects KEY=VALUE, got '{pair}'")
+        overrides[key.strip()] = value
+    return overrides
+
+
+def _wants_table(args: argparse.Namespace) -> bool:
+    """Human-readable output is suppressed when stdout carries JSON or CSV."""
+    return (
+        getattr(args, "json_out", None) != "-"
+        and getattr(args, "csv_out", None) != "-"
+    )
+
+
+def _run_and_emit(
+    args: argparse.Namespace, name: str, overrides: Dict[str, Any]
+) -> int:
+    """Shared execution path of ``run`` and every legacy alias."""
+    if getattr(args, "json_out", None) == "-" and getattr(args, "csv_out", None) == "-":
+        print("error: --json - and --csv - cannot share stdout; write one "
+              "of them to a file", file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        # The global --scale / --loss-rate knobs apply wherever the scenario
+        # has the matching parameter; explicit --set overrides win.
+        for knob in ("scale", "loss_rate"):
+            value = getattr(args, knob, None)
+            if value is not None and knob in spec.params and knob not in overrides:
+                overrides[knob] = value
+        runner = SweepRunner(jobs=getattr(args, "jobs", 1) or 1)
+        result = runner.run(spec, overrides=overrides, seed=getattr(args, "seed", None))
+    except ScenarioError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    args._result = result
+    _emit(result, args)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
-# sub-commands
+# registry-facing commands
 # --------------------------------------------------------------------------- #
 def cmd_list(_args: argparse.Namespace) -> int:
-    for name, description in sorted(COMMANDS.items()):
-        print(f"{name:<12} {description[1]}")
+    print("scenarios (repro.scenarios registry):")
+    for spec in iter_scenarios():
+        axis = f"sweep: {spec.axis}" if spec.axis else "single point"
+        print(f"  {spec.name:<20} {spec.title}  [{axis}]")
+    print("\nlegacy aliases (thin shims over the registry):")
+    for alias in sorted(LEGACY_ALIASES):
+        print(f"  {alias:<20} -> run {alias}")
+    print("\nusage: run <scenario> [--set key=value ...] [--jobs N] [--json out.json]")
     return 0
 
 
-def cmd_loss_sweep(args: argparse.Namespace) -> int:
-    from .experiments.loss_detection import compare_schemes
-    from .traffic.generator import generate_caida_like_trace
+def cmd_describe(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{spec.name}: {spec.title}")
+    doc = (spec.func.__doc__ or "").strip()
+    if doc:
+        print(f"  {doc}")
+    print(f"  axis: {spec.axis or '(single point)'}   seed: {spec.seed} "
+          f"({spec.seed_policy})   tags: {', '.join(spec.tags) or '-'}")
+    print("  parameters:")
+    for key, value in spec.params.items():
+        marker = "  (sweep axis)" if key == spec.axis else ""
+        print(f"    {key} = {value!r}{marker}")
+    if spec.smoke:
+        print(f"  smoke overrides: {dict(spec.smoke)!r}")
+    return 0
 
-    rows = []
-    for victims in args.victims:
-        trace = generate_caida_like_trace(
-            num_flows=args.flows,
-            victim_flows=min(victims, args.flows),
-            loss_rate=args.loss_rate,
-            victim_selection="largest",
-            seed=args.seed,
-        )
-        results = compare_schemes(trace, trials=args.trials, seed=args.seed)
-        rows.append(
-            [
-                victims,
-                f"{results['fermat'].memory_bytes / 1000:.1f}",
-                f"{results['lossradar'].memory_bytes / 1000:.1f}",
-                f"{results['flowradar'].memory_bytes / 1000:.1f}",
-                f"{results['fermat'].decode_milliseconds:.2f}",
-                f"{results['lossradar'].decode_milliseconds:.2f}",
-                f"{results['flowradar'].decode_milliseconds:.2f}",
-            ]
-        )
-    _print_table(
-        f"Loss detection overhead ({args.flows} flows, loss rate {args.loss_rate})",
-        ["victims", "fermat KB", "lossradar KB", "flowradar KB",
-         "fermat ms", "lossradar ms", "flowradar ms"],
-        rows,
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        overrides: Dict[str, Any] = _parse_overrides(args.overrides)
+    except ScenarioError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    return _run_and_emit(args, args.scenario, overrides)
+
+
+# --------------------------------------------------------------------------- #
+# legacy aliases
+# --------------------------------------------------------------------------- #
+#: Historical sub-commands kept as shims; each maps its flags onto overrides
+#: for the same-named scenario in its cmd_* handler.
+LEGACY_ALIASES = ("fig4", "fig7", "fig8", "fig9", "fig11", "overheads", "demo")
+
+
+def _legacy_overrides(
+    args: argparse.Namespace, spec: Scenario, mapping: Dict[str, str]
+) -> Dict[str, Any]:
+    """Map explicitly-passed legacy flags onto scenario parameters."""
+    overrides: Dict[str, Any] = {}
+    for attribute, parameter in mapping.items():
+        if hasattr(args, attribute) and parameter in spec.params:
+            value = getattr(args, attribute)
+            if isinstance(value, list):
+                value = tuple(value)
+            overrides[parameter] = value
+    return overrides
+
+
+_LOSS_TABLE_HEADERS = [
+    "fermat KB", "lossradar KB", "flowradar KB", "fermat ms", "lossradar ms", "flowradar ms",
+]
+
+
+def _legacy_loss_cells(row: Dict[str, Any]) -> List[str]:
+    return [
+        f"{row['fermat_bytes'] / 1000:.1f}",
+        f"{row['lossradar_bytes'] / 1000:.1f}",
+        f"{row['flowradar_bytes'] / 1000:.1f}",
+        f"{row['fermat_ms']:.2f}",
+        f"{row['lossradar_ms']:.2f}",
+        f"{row['flowradar_ms']:.2f}",
+    ]
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    spec = get_scenario("fig4")
+    overrides = _legacy_overrides(
+        args, spec,
+        {"flows": "flows", "victims": "victims", "trials": "trials", "loss_rate": "loss_rate"},
     )
-    return 0
+    args.quiet = True
+    status = _run_and_emit(args, "fig4", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        _print_table(
+            f"Loss detection overhead ({result.params['flows']} flows, "
+            f"loss rate {result.params['loss_rate']})",
+            ["victims"] + _LOSS_TABLE_HEADERS,
+            [[row["victims"]] + _legacy_loss_cells(row) for row in result.rows()],
+        )
+    return status
+
+
+_ATTENTION_HEADERS = ["state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample", "load", "loss F1"]
+
+
+def _attention_cells(row: Dict[str, Any]) -> List[str]:
+    return [
+        row["level"],
+        f"{row['mem_hh']:.2f}",
+        f"{row['mem_hl']:.2f}",
+        f"{row['mem_ll']:.2f}",
+        str(row["threshold_high"]),
+        str(row["threshold_low"]),
+        f"{row['sample_rate']:.2f}",
+        f"{row['load_factor']:.2f}",
+        f"{row['loss_f1']:.2f}",
+    ]
 
 
 def cmd_fig7(args: argparse.Namespace) -> int:
-    from .experiments.attention import sweep_num_flows
-
-    sweep = sweep_num_flows(
-        workload=args.workload,
-        flow_counts=args.flows,
-        victim_ratio=args.victim_ratio,
-        loss_rate=args.loss_rate,
-        scale=args.scale,
-        max_epochs=args.max_epochs,
-        seed=args.seed,
+    spec = get_scenario("fig7")
+    overrides = _legacy_overrides(
+        args, spec,
+        {"workload": "workload", "flows": "flows", "victim_ratio": "victim_ratio",
+         "loss_rate": "loss_rate", "max_epochs": "max_epochs"},
     )
-    _print_table(
-        f"Attention vs. # flows ({args.workload})",
-        ["flows", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample", "load", "loss F1"],
-        [
-            [p.num_flows, p.level, f"{p.memory_division['hh']:.2f}",
-             f"{p.memory_division['hl']:.2f}", f"{p.memory_division['ll']:.2f}",
-             p.threshold_high, p.threshold_low, f"{p.sample_rate:.2f}",
-             f"{p.load_factor:.2f}", f"{p.loss_f1:.2f}"]
-            for p in sweep.points
-        ],
-    )
-    return 0
+    args.quiet = True
+    status = _run_and_emit(args, "fig7", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        _print_table(
+            f"Attention vs. # flows ({result.params['workload']})",
+            ["flows"] + _ATTENTION_HEADERS,
+            [[row["flows"]] + _attention_cells(row) for row in result.rows()],
+        )
+    return status
 
 
 def cmd_fig8(args: argparse.Namespace) -> int:
-    from .experiments.attention import sweep_victim_ratio
-
-    sweep = sweep_victim_ratio(
-        workload=args.workload,
-        victim_ratios=args.ratios,
-        num_flows=args.flows,
-        loss_rate=args.loss_rate,
-        scale=args.scale,
-        max_epochs=args.max_epochs,
-        seed=args.seed,
+    spec = get_scenario("fig8")
+    overrides = _legacy_overrides(
+        args, spec,
+        {"workload": "workload", "flows": "flows", "ratios": "victim_ratio",
+         "loss_rate": "loss_rate", "max_epochs": "max_epochs"},
     )
-    _print_table(
-        f"Attention vs. victim ratio ({args.workload}, {args.flows} flows)",
-        ["victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample", "load", "loss F1"],
-        [
-            [f"{p.victim_ratio:.1%}", p.level, f"{p.memory_division['hh']:.2f}",
-             f"{p.memory_division['hl']:.2f}", f"{p.memory_division['ll']:.2f}",
-             p.threshold_high, p.threshold_low, f"{p.sample_rate:.2f}",
-             f"{p.load_factor:.2f}", f"{p.loss_f1:.2f}"]
-            for p in sweep.points
-        ],
-    )
-    return 0
+    args.quiet = True
+    status = _run_and_emit(args, "fig8", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        _print_table(
+            f"Attention vs. victim ratio ({result.params['workload']}, "
+            f"{result.params['flows']} flows)",
+            ["victims"] + _ATTENTION_HEADERS,
+            [[f"{row['victim_ratio']:.1%}"] + _attention_cells(row) for row in result.rows()],
+        )
+    return status
 
 
 def cmd_fig9(args: argparse.Namespace) -> int:
-    from .experiments.attention import run_timeline
-
-    schedule = [(flows, ratio) for flows, ratio in zip(args.flows, args.ratios)]
-    timeline = run_timeline(
-        workload=args.workload,
-        schedule=schedule,
-        epochs_per_stage=args.epochs_per_stage,
-        loss_rate=args.loss_rate,
-        scale=args.scale,
-        seed=args.seed,
+    spec = get_scenario("fig9")
+    overrides = _legacy_overrides(
+        args, spec,
+        {"workload": "workload", "epochs_per_stage": "epochs_per_stage",
+         "loss_rate": "loss_rate"},
     )
-    _print_table(
-        f"Attention timeline ({args.workload})",
-        ["epoch", "flows", "victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample"],
-        [
-            [e.epoch, e.num_flows, f"{e.victim_ratio:.0%}", e.level,
-             f"{e.memory_division['hh']:.2f}", f"{e.memory_division['hl']:.2f}",
-             f"{e.memory_division['ll']:.2f}", e.threshold_high, e.threshold_low,
-             f"{e.sample_rate:.2f}"]
-            for e in timeline.epochs
-        ],
-    )
-    print("epochs to shift per state change:", timeline.shift_epochs)
-    return 0
+    if hasattr(args, "flows") or hasattr(args, "ratios"):
+        if not (hasattr(args, "flows") and hasattr(args, "ratios")):
+            print("error: fig9 needs --flows and --ratios together (one "
+                  "schedule stage per pair)", file=sys.stderr)
+            return 2
+        if len(args.flows) != len(args.ratios):
+            print(f"error: fig9 got {len(args.flows)} --flows values but "
+                  f"{len(args.ratios)} --ratios values", file=sys.stderr)
+            return 2
+        overrides["schedule"] = tuple(zip(args.flows, args.ratios))
+    args.quiet = True
+    status = _run_and_emit(args, "fig9", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        _print_table(
+            f"Attention timeline ({result.params['workload']})",
+            ["epoch", "flows", "victims", "state", "HHE", "HLE", "LLE", "T_h", "T_l", "sample"],
+            [
+                [row["epoch"], row["flows"], f"{row['victim_ratio']:.0%}", row["level"],
+                 f"{row['mem_hh']:.2f}", f"{row['mem_hl']:.2f}", f"{row['mem_ll']:.2f}",
+                 row["threshold_high"], row["threshold_low"], f"{row['sample_rate']:.2f}"]
+                for row in result.rows()
+            ],
+        )
+        print("epochs to shift per state change:", result.extras().get("shift_epochs"))
+    return status
 
 
 def cmd_fig11(args: argparse.Namespace) -> int:
-    from .experiments.accumulation import evaluate_tasks
-    from .traffic.generator import generate_caida_like_trace
-
-    first = generate_caida_like_trace(num_flows=args.flows, seed=args.seed)
-    second = generate_caida_like_trace(num_flows=args.flows, seed=args.seed + 1)
-    for memory_kb in args.memory_kb:
-        result = evaluate_tasks(first, second, memory_bytes=memory_kb * 1000, seed=args.seed)
-        for metric, values in result.as_dict().items():
-            if not values:
-                continue
-            _print_table(
-                f"{metric} at {memory_kb} KB",
-                ["algorithm", "value"],
-                [[name, f"{value:.4f}"] for name, value in sorted(values.items())],
-            )
-    return 0
+    spec = get_scenario("fig11")
+    overrides = _legacy_overrides(
+        args, spec, {"flows": "flows", "memory_kb": "memory_kb"}
+    )
+    args.quiet = True
+    status = _run_and_emit(args, "fig11", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        for point in result.points:
+            metrics: Dict[str, List] = {}
+            for row in point.rows:
+                metrics.setdefault(row["metric"], []).append(row)
+            for metric, rows in metrics.items():
+                _print_table(
+                    f"{metric} at {point.params['memory_kb']} KB",
+                    ["algorithm", "value"],
+                    [[row["algorithm"], f"{row['value']:.4f}"] for row in rows],
+                )
+    return status
 
 
 def cmd_overheads(args: argparse.Namespace) -> int:
-    from .controlplane.timing import CollectionModel, response_time_ms
-    from .dataplane.config import SwitchResources
-
-    resources = SwitchResources()
-    model = CollectionModel(resources)
-    _print_table(
-        "Collection bandwidth vs. epoch length",
-        ["epoch ms", "Mbps"],
-        [[epoch, f"{model.bandwidth_mbps(epoch):.1f}"] for epoch in args.epochs_ms],
-    )
-    _print_table(
-        "Modelled controller response time",
-        ["HH candidates/switch", "HLs", "response ms"],
-        [
-            [hh, hh, f"{response_time_ms(hh, hh):.2f}"]
-            for hh in (1000, 2000, 4000, 7000)
-        ],
-    )
-    return 0
+    overrides: Dict[str, Any] = {"include_live": False}
+    if hasattr(args, "epochs_ms"):
+        overrides["epochs_ms"] = tuple(args.epochs_ms)
+    args.quiet = True
+    status = _run_and_emit(args, "overheads", overrides)
+    if status == 0 and _wants_table(args):
+        result = args._result
+        rows = result.rows()
+        _print_table(
+            "Collection bandwidth vs. epoch length",
+            ["epoch ms", "Mbps"],
+            [[row["epoch_ms"], f"{row['mbps']:.1f}"]
+             for row in rows if row.get("kind") == "bandwidth"],
+        )
+        _print_table(
+            "Modelled controller response time",
+            ["flows", "response ms"],
+            [[row["flows"], f"{row['response_ms']:.2f}"]
+             for row in rows if row.get("kind") == "response_model"],
+        )
+    return status
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    from .core import ChameleMon
-    from .dataplane.config import SwitchResources
-    from .traffic.generator import generate_workload
-
-    system = ChameleMon(resources=SwitchResources.scaled(args.scale), seed=args.seed)
-    for epoch in range(args.epochs):
-        trace = generate_workload(
-            args.workload,
-            num_flows=args.flows[0] if args.flows else 1000,
-            victim_ratio=args.victim_ratio,
-            loss_rate=args.loss_rate,
-            num_hosts=system.num_hosts,
-            seed=args.seed + epoch,
-        )
-        result = system.run_epoch(trace)
-        accuracy = result.loss_accuracy()
-        print(
-            f"epoch {epoch}: {result.level.value:<8} {result.config.describe()} "
-            f"loss F1 {accuracy['f1']:.2f}"
-        )
-    return 0
+    spec = get_scenario("demo")
+    overrides = _legacy_overrides(
+        args, spec,
+        {"workload": "workload", "epochs": "epochs", "victim_ratio": "victim_ratio",
+         "loss_rate": "loss_rate"},
+    )
+    if hasattr(args, "flows"):
+        overrides["flows"] = args.flows[0] if isinstance(args.flows, list) else args.flows
+    args.quiet = True
+    status = _run_and_emit(args, "demo", overrides)
+    if status == 0 and _wants_table(args):
+        for row in args._result.rows():
+            print(
+                f"epoch {row['epoch']}: {row['level']:<8} {row['config']} "
+                f"loss F1 {row['loss_f1']:.2f}"
+            )
+    return status
 
 
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
-COMMANDS = {
-    "list": (cmd_list, "list available sub-commands"),
-    "fig4": (cmd_loss_sweep, "loss-detection overhead vs. number of victim flows"),
-    "fig7": (cmd_fig7, "attention vs. number of flows"),
-    "fig8": (cmd_fig8, "attention vs. victim-flow ratio"),
-    "fig9": (cmd_fig9, "attention timeline over changing network state"),
-    "fig11": (cmd_fig11, "the six packet-accumulation tasks"),
-    "overheads": (cmd_overheads, "control-loop bandwidth and response-time model"),
-    "demo": (cmd_demo, "run the full system for a few epochs and print its state"),
-}
-
-
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--loss-rate", type=float, default=0.05)
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="switch-resource scale relative to the testbed")
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    # The global knobs are declared once and attached everywhere via a parent
+    # parser: ``repro --seed 1 run fig4`` and ``repro run fig4 --seed 1`` are
+    # equivalent (sub-command values win because the parent copy uses
+    # SUPPRESS defaults).
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base seed (default: the scenario's own)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="switch-resource scale relative to the testbed "
+                             "(applied to scenarios that take a 'scale' parameter)")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    common.add_argument("--scale", type=float, default=argparse.SUPPRESS)
+    common.add_argument("--loss-rate", type=float, dest="loss_rate",
+                        default=argparse.SUPPRESS,
+                        help="packet-loss rate (applied to scenarios that "
+                             "take a 'loss_rate' parameter)")
+    common.add_argument("--jobs", type=int, default=1,
+                        help="run sweep points across N processes")
+    common.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="write the result as JSON ('-' for stdout)")
+    common.add_argument("--csv", dest="csv_out", metavar="PATH",
+                        help="write the rows as CSV ('-' for stdout)")
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    sub = subparsers.add_parser("list", help=COMMANDS["list"][1])
+    sub = subparsers.add_parser("list", help="list registered scenarios and aliases")
     sub.set_defaults(handler=cmd_list)
 
-    sub = subparsers.add_parser("fig4", help=COMMANDS["fig4"][1])
-    _add_common(sub)
-    sub.add_argument("--flows", type=int, default=1000)
-    sub.add_argument("--victims", type=int, nargs="+", default=[200, 400, 600, 800, 1000])
-    sub.add_argument("--trials", type=int, default=2)
-    sub.set_defaults(handler=cmd_loss_sweep, loss_rate=0.01)
+    sub = subparsers.add_parser("describe", help="show a scenario's parameters")
+    sub.add_argument("scenario")
+    sub.set_defaults(handler=cmd_describe)
 
-    sub = subparsers.add_parser("fig7", help=COMMANDS["fig7"][1])
-    _add_common(sub)
-    sub.add_argument("--workload", default="DCTCP")
-    sub.add_argument("--flows", type=int, nargs="+", default=[400, 800, 1600, 2400])
-    sub.add_argument("--victim-ratio", type=float, default=0.10)
-    sub.add_argument("--max-epochs", type=int, default=6)
+    sub = subparsers.add_parser(
+        "run", parents=[common], help="run any registered scenario"
+    )
+    sub.add_argument("scenario")
+    sub.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="KEY=VALUE", help="override a scenario parameter "
+                     "(lists as comma-separated values); repeatable")
+    sub.add_argument("--quiet", action="store_true", help="suppress the table output")
+    sub.set_defaults(handler=cmd_run)
+
+    sub = subparsers.add_parser("fig4", parents=[common],
+                                help="loss-detection overhead vs. number of victim flows")
+    sub.add_argument("--flows", type=int, default=argparse.SUPPRESS)
+    sub.add_argument("--victims", type=int, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--trials", type=int, default=argparse.SUPPRESS)
+    sub.set_defaults(handler=cmd_fig4)
+
+    sub = subparsers.add_parser("fig7", parents=[common],
+                                help="attention vs. number of flows")
+    sub.add_argument("--workload", default=argparse.SUPPRESS)
+    sub.add_argument("--flows", type=int, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--victim-ratio", type=float, dest="victim_ratio",
+                     default=argparse.SUPPRESS)
+    sub.add_argument("--max-epochs", type=int, dest="max_epochs", default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_fig7)
 
-    sub = subparsers.add_parser("fig8", help=COMMANDS["fig8"][1])
-    _add_common(sub)
-    sub.add_argument("--workload", default="DCTCP")
-    sub.add_argument("--flows", type=int, default=1600)
-    sub.add_argument("--ratios", type=float, nargs="+", default=[0.025, 0.05, 0.1, 0.2])
-    sub.add_argument("--max-epochs", type=int, default=6)
+    sub = subparsers.add_parser("fig8", parents=[common],
+                                help="attention vs. victim-flow ratio")
+    sub.add_argument("--workload", default=argparse.SUPPRESS)
+    sub.add_argument("--flows", type=int, default=argparse.SUPPRESS)
+    sub.add_argument("--ratios", type=float, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--max-epochs", type=int, dest="max_epochs", default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_fig8)
 
-    sub = subparsers.add_parser("fig9", help=COMMANDS["fig9"][1])
-    _add_common(sub)
-    sub.add_argument("--workload", default="DCTCP")
-    sub.add_argument("--flows", type=int, nargs="+", default=[400, 1600, 2400, 1600, 400])
-    sub.add_argument("--ratios", type=float, nargs="+", default=[0.05, 0.1, 0.25, 0.1, 0.05])
-    sub.add_argument("--epochs-per-stage", type=int, default=3)
+    sub = subparsers.add_parser("fig9", parents=[common],
+                                help="attention timeline over changing network state")
+    sub.add_argument("--workload", default=argparse.SUPPRESS)
+    sub.add_argument("--flows", type=int, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--ratios", type=float, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--epochs-per-stage", type=int, dest="epochs_per_stage",
+                     default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_fig9)
 
-    sub = subparsers.add_parser("fig11", help=COMMANDS["fig11"][1])
-    _add_common(sub)
-    sub.add_argument("--flows", type=int, default=4000)
-    sub.add_argument("--memory-kb", type=int, nargs="+", default=[50, 100, 150])
+    sub = subparsers.add_parser("fig11", parents=[common],
+                                help="the six packet-accumulation tasks")
+    sub.add_argument("--flows", type=int, default=argparse.SUPPRESS)
+    sub.add_argument("--memory-kb", type=int, nargs="+", dest="memory_kb",
+                     default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_fig11)
 
-    sub = subparsers.add_parser("overheads", help=COMMANDS["overheads"][1])
-    sub.add_argument("--epochs-ms", type=int, nargs="+", default=[50, 100, 200, 400, 1000])
+    sub = subparsers.add_parser("overheads", parents=[common],
+                                help="control-loop bandwidth and response-time model")
+    sub.add_argument("--epochs-ms", type=int, nargs="+", dest="epochs_ms",
+                     default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_overheads)
 
-    sub = subparsers.add_parser("demo", help=COMMANDS["demo"][1])
-    _add_common(sub)
-    sub.add_argument("--workload", default="DCTCP")
-    sub.add_argument("--flows", type=int, nargs="+", default=[1000])
-    sub.add_argument("--victim-ratio", type=float, default=0.1)
-    sub.add_argument("--epochs", type=int, default=5)
+    sub = subparsers.add_parser("demo", parents=[common],
+                                help="run the full system for a few epochs")
+    sub.add_argument("--workload", default=argparse.SUPPRESS)
+    sub.add_argument("--flows", type=int, nargs="+", default=argparse.SUPPRESS)
+    sub.add_argument("--victim-ratio", type=float, dest="victim_ratio",
+                     default=argparse.SUPPRESS)
+    sub.add_argument("--epochs", type=int, default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_demo)
 
     return parser
 
 
-def main(argv: List[str] | None = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.handler(args)

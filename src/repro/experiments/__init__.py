@@ -14,6 +14,7 @@ from .attention import (
     TimelineEpoch,
     TimelineResult,
     run_timeline,
+    stable_point,
     sweep_num_flows,
     sweep_victim_ratio,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "measure",
     "minimum_memory",
     "run_timeline",
+    "stable_point",
     "sweep_num_flows",
     "sweep_victim_ratio",
 ]

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..core.tower_fermat import TowerFermat
 from ..metrics.accuracy import (
     average_relative_error,
     empirical_entropy,
@@ -20,22 +19,15 @@ from ..metrics.accuracy import (
     relative_error,
     weighted_mean_relative_error,
 )
-from ..sketches.cm import CountMinSketch, CUSketch
-from ..sketches.coco import CocoSketch
-from ..sketches.countsketch import CountHeap
-from ..sketches.elastic import ElasticSketch
-from ..sketches.fcm import FCMSketch
-from ..sketches.hashpipe import HashPipe
+from ..sketches import registry as sketch_registry
 from ..sketches.mrac import estimate_flow_size_distribution
-from ..sketches.univmon import UnivMon
+from ..sketches.registry import DEFAULT_THRESHOLD_FALLBACK
 from ..traffic.flow import Trace
 from ..traffic.generator import ground_truth_heavy_changes, ground_truth_heavy_hitters
 
 #: Paper thresholds: Δ_h ≈ 0.02 % and Δ_c ≈ 0.01 % of the total packets.
 HEAVY_HITTER_FRACTION = 0.0002
 HEAVY_CHANGE_FRACTION = 0.0001
-#: Tower+Fermat candidate threshold when the caller does not derive one.
-DEFAULT_THRESHOLD_FALLBACK = 250
 
 #: Which algorithms each sub-figure of Figure 11 compares.
 TASK_ALGORITHMS: Dict[str, List[str]] = {
@@ -53,33 +45,18 @@ ALL_ALGORITHMS = sorted({name for names in TASK_ALGORITHMS.values() for name in 
 def build_sketch(name: str, memory_bytes: int, seed: int = 0, hh_candidate_threshold: Optional[int] = None):
     """Construct one of the compared algorithms at a memory budget.
 
-    ``hh_candidate_threshold`` overrides Tower+Fermat's ``T_h`` (the paper sets
-    it to the heavy-change threshold so that most heavy hitters and heavy
-    changes reach the Fermat part).
+    Thin wrapper over :func:`repro.sketches.registry.build` kept for backward
+    compatibility.  ``hh_candidate_threshold`` overrides Tower+Fermat's
+    ``T_h`` (the paper sets it to the heavy-change threshold so that most
+    heavy hitters and heavy changes reach the Fermat part); the registry
+    drops it for algorithms without that knob.
     """
-    if name == "tower_fermat":
-        threshold = hh_candidate_threshold or DEFAULT_THRESHOLD_FALLBACK
-        return TowerFermat.for_memory(memory_bytes, threshold=threshold, seed=seed)
-    if name == "cm":
-        return CountMinSketch.for_memory(memory_bytes, seed=seed)
-    if name == "cu":
-        return CUSketch.for_memory(memory_bytes, seed=seed)
-    if name == "countheap":
-        return CountHeap.for_memory(memory_bytes, seed=seed)
-    if name == "univmon":
-        return UnivMon.for_memory(memory_bytes, seed=seed)
-    if name == "elastic":
-        return ElasticSketch.for_memory(memory_bytes, seed=seed)
-    if name == "fcm":
-        return FCMSketch.for_memory(memory_bytes, seed=seed)
-    if name == "hashpipe":
-        return HashPipe.for_memory(memory_bytes, seed=seed)
-    if name == "coco":
-        return CocoSketch.for_memory(memory_bytes, seed=seed)
-    if name == "mrac":
-        # MRAC is a single hashed 32-bit counter array plus EM post-processing.
-        return CountMinSketch.for_memory(memory_bytes, depth=1, seed=seed)
-    raise KeyError(f"unknown algorithm '{name}'")
+    return sketch_registry.build(
+        name,
+        memory_bytes=memory_bytes,
+        seed=seed,
+        hh_candidate_threshold=hh_candidate_threshold,
+    )
 
 
 def insert_trace(sketch, trace: Trace) -> None:

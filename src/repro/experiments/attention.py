@@ -50,7 +50,7 @@ class AttentionSweep:
         return [(point.x_value, getattr(point, attribute)) for point in self.points]
 
 
-def _stable_point(
+def stable_point(
     workload: str,
     num_flows: int,
     victim_ratio: float,
@@ -60,6 +60,11 @@ def _stable_point(
     seed: int,
     max_epochs: int,
 ) -> AttentionPoint:
+    """Run one workload until the configuration stabilises; record the point.
+
+    This is the unit of work of every attention sweep (Figures 7/8/14-19):
+    the sweep drivers and the scenario registry both call it once per x-value.
+    """
     system = ChameleMon(resources=resources, seed=seed)
 
     def trace_factory(epoch: int):
@@ -109,7 +114,7 @@ def sweep_num_flows(
     sweep = AttentionSweep(workload=workload)
     for num_flows in flow_counts:
         sweep.points.append(
-            _stable_point(
+            stable_point(
                 workload,
                 num_flows=num_flows,
                 victim_ratio=victim_ratio,
@@ -138,7 +143,7 @@ def sweep_victim_ratio(
     sweep = AttentionSweep(workload=workload)
     for ratio in victim_ratios:
         sweep.points.append(
-            _stable_point(
+            stable_point(
                 workload,
                 num_flows=num_flows,
                 victim_ratio=ratio,
@@ -165,6 +170,7 @@ class TimelineEpoch:
     threshold_high: int
     threshold_low: int
     sample_rate: float
+    loss_f1: float = 0.0
 
 
 @dataclass
@@ -230,6 +236,7 @@ def run_timeline(
                     threshold_high=epoch_result.config.threshold_high,
                     threshold_low=epoch_result.config.threshold_low,
                     sample_rate=epoch_result.config.sample_rate,
+                    loss_f1=epoch_result.loss_accuracy()["f1"],
                 )
             )
             epoch_index += 1

@@ -18,15 +18,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
-from ..sketches.fermat import FermatSketch, MERSENNE_PRIME_61
-from ..sketches.flowradar import FlowRadar
-from ..sketches.lossradar import LossRadar
+from ..sketches.registry import FERMAT_BUCKET_BYTES, build
 from ..traffic.flow import Trace
 
 SCHEMES = ("fermat", "flowradar", "lossradar")
-
-#: Field widths of the CPU evaluation (32-bit counts / IDs).
-FERMAT_BUCKET_BYTES = 8
 
 
 @dataclass
@@ -73,9 +68,7 @@ def _lost_sequences(trace: Trace, seed: int) -> Dict[int, List[int]]:
 # single-run encode + decode for each scheme
 # --------------------------------------------------------------------------- #
 def _run_fermat(trace: Trace, buckets_per_array: int, seed: int) -> Tuple[bool, float, Dict[int, int]]:
-    upstream = FermatSketch(
-        buckets_per_array, num_arrays=3, prime=MERSENNE_PRIME_61, seed=seed
-    )
+    upstream = build("fermat", buckets_per_array=buckets_per_array, seed=seed)
     downstream = upstream.empty_like()
     for flow in trace.flows:
         upstream.insert(flow.flow_id, flow.size)
@@ -90,8 +83,8 @@ def _run_fermat(trace: Trace, buckets_per_array: int, seed: int) -> Tuple[bool, 
 
 
 def _run_flowradar(trace: Trace, num_cells: int, seed: int) -> Tuple[bool, float, Dict[int, int]]:
-    upstream = FlowRadar(num_cells, seed=seed)
-    downstream = FlowRadar(num_cells, seed=seed)
+    upstream = build("flowradar", num_cells=num_cells, seed=seed)
+    downstream = build("flowradar", num_cells=num_cells, seed=seed)
     for flow in trace.flows:
         upstream.insert(flow.flow_id, flow.size)
         delivered = flow.size - flow.lost_packets
@@ -116,7 +109,7 @@ def _run_lossradar(trace: Trace, num_cells: int, seed: int) -> Tuple[bool, float
     # encodes only the lost packet identifiers.  Building the delta directly
     # keeps the experiment linear in the number of *lost* packets while being
     # bit-for-bit identical to encode-both-then-subtract.
-    delta = LossRadar(num_cells, seed=seed)
+    delta = build("lossradar", num_cells=num_cells, seed=seed)
     for flow_id, sequences in _lost_sequences(trace, seed).items():
         for sequence in sequences:
             delta.insert_packet(flow_id, sequence)

@@ -1,0 +1,57 @@
+"""Declarative experiment registry and parallel sweep runner.
+
+Every paper figure and ablation in this repository is described once, as a
+:class:`Scenario`: a point function plus default workload parameters, a sweep
+axis, and a seed policy.  The CLI, the ``benchmarks/`` figure suites, and the
+examples all execute scenarios through the same :class:`SweepRunner`, which
+fans sweep points out over a process pool with deterministic per-point seeds
+and returns typed :class:`RunResult`/:class:`SweepResult` objects that
+serialize to dicts, JSON, and CSV.
+
+Quickstart::
+
+    from repro.scenarios import run_scenario, scenario_names
+
+    print(scenario_names())
+    result = run_scenario("fig4", overrides={"flows": 500, "trials": 1}, jobs=4)
+    for row in result.rows():
+        print(row)
+    print(result.to_json())
+
+Defining a new scenario is one decorated function (see
+``repro/scenarios/catalog.py`` for the full set)::
+
+    from repro.scenarios import scenario
+
+    @scenario("my_sweep",
+              title="my experiment",
+              params=dict(flows=1000, memory_kb=(50, 100, 150)),
+              axis="memory_kb")
+    def my_sweep(params, seed):
+        ...  # one sweep point; params["memory_kb"] is a single value here
+        return [{"memory_kb": params["memory_kb"], "metric": 0.9}]
+"""
+
+from .registry import (
+    get_scenario,
+    iter_scenarios,
+    register,
+    scenario,
+    scenario_names,
+)
+from .results import RunResult, SweepResult
+from .runner import SweepRunner, run_scenario
+from .spec import Scenario
+
+__all__ = [
+    "RunResult",
+    "Scenario",
+    "SweepResult",
+    "SweepRunner",
+    "get_scenario",
+    "iter_scenarios",
+    "register",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,833 @@
+"""The scenario catalog: every paper figure and ablation, declared once.
+
+Each ``@scenario`` below is the single implementation of one figure of the
+paper (or one DESIGN.md ablation).  The CLI (``python -m repro.cli run``),
+the ``benchmarks/test_fig*.py`` suites, and the examples all execute these
+definitions through :class:`repro.scenarios.SweepRunner` — there is no other
+per-figure sweep loop in the repository.
+
+Point functions are pure given ``(params, seed)`` and live at module top
+level so the process-pool runner can dispatch them by scenario name.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List
+
+from .registry import scenario
+
+# --------------------------------------------------------------------------- #
+# shared row shapes
+# --------------------------------------------------------------------------- #
+#: Schemes of the loss-detection figures, in the paper's presentation order.
+LOSS_SCHEMES = ("fermat", "lossradar", "flowradar")
+
+
+def _loss_detection_row(x_name: str, x_value: Any, measurements: Dict) -> Dict[str, Any]:
+    row: Dict[str, Any] = {x_name: x_value}
+    for scheme in LOSS_SCHEMES:
+        measurement = measurements[scheme]
+        row[f"{scheme}_bytes"] = measurement.memory_bytes
+        row[f"{scheme}_ms"] = measurement.decode_milliseconds
+        row[f"{scheme}_victims"] = len(measurement.detected_losses)
+    return row
+
+
+def _attention_row(point) -> Dict[str, Any]:
+    return {
+        "x_value": point.x_value,
+        "flows": point.num_flows,
+        "victim_ratio": point.victim_ratio,
+        "level": point.level,
+        "mem_hh": point.memory_division["hh"],
+        "mem_hl": point.memory_division["hl"],
+        "mem_ll": point.memory_division["ll"],
+        "decoded_hh": point.decoded_flows["hh"],
+        "decoded_hl": point.decoded_flows["hl"],
+        "decoded_ll": point.decoded_flows["ll"],
+        "threshold_high": point.threshold_high,
+        "threshold_low": point.threshold_low,
+        "sample_rate": point.sample_rate,
+        "load_factor": point.load_factor,
+        "loss_f1": point.loss_f1,
+        "epochs_to_stabilise": point.epochs_to_stabilise,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figures 4-6: loss-detection overhead sweeps
+# --------------------------------------------------------------------------- #
+@scenario(
+    "fig4",
+    title="loss-detection overhead vs. number of victim flows",
+    params=dict(
+        flows=1000,
+        victims=(200, 400, 600, 800, 1000),
+        loss_rate=0.01,
+        trials=2,
+        victim_selection="largest",
+    ),
+    axis="victims",
+    seed=4,
+    smoke=dict(flows=150, victims=(20, 40), trials=1),
+    tags=("figure", "loss-detection"),
+)
+def fig4_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 4: minimum memory and decode time as victims grow (fixed flows)."""
+    from ..experiments.loss_detection import compare_schemes
+    from ..traffic.generator import generate_caida_like_trace
+
+    trace = generate_caida_like_trace(
+        num_flows=params["flows"],
+        victim_flows=min(params["victims"], params["flows"]),
+        loss_rate=params["loss_rate"],
+        victim_selection=params["victim_selection"],
+        seed=seed,
+    )
+    measurements = compare_schemes(trace, trials=params["trials"], seed=seed)
+    return [_loss_detection_row("victims", params["victims"], measurements)]
+
+
+@scenario(
+    "fig5",
+    title="loss-detection overhead vs. victim packet-loss rate",
+    params=dict(
+        flows=1000,
+        victims=100,
+        loss_rate=(0.10, 0.20, 0.30, 0.40, 0.50),
+        trials=2,
+        victim_selection="largest",
+    ),
+    axis="loss_rate",
+    seed=5,
+    smoke=dict(flows=150, victims=20, loss_rate=(0.1, 0.3), trials=1),
+    tags=("figure", "loss-detection"),
+)
+def fig5_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 5: overhead as the victims' loss rate sweeps 10-50 %."""
+    from ..experiments.loss_detection import compare_schemes
+    from ..traffic.generator import generate_caida_like_trace
+
+    trace = generate_caida_like_trace(
+        num_flows=params["flows"],
+        victim_flows=min(params["victims"], params["flows"]),
+        loss_rate=params["loss_rate"],
+        victim_selection=params["victim_selection"],
+        seed=seed,
+    )
+    measurements = compare_schemes(trace, trials=params["trials"], seed=seed)
+    return [_loss_detection_row("loss_rate", params["loss_rate"], measurements)]
+
+
+@scenario(
+    "fig6",
+    title="loss-detection overhead vs. total number of flows",
+    params=dict(
+        flows=(250, 500, 1000, 2000, 4000),
+        victims=100,
+        loss_rate=0.01,
+        trials=2,
+        victim_selection="largest",
+    ),
+    axis="flows",
+    seed=6,
+    smoke=dict(flows=(100, 200), victims=20, trials=1),
+    tags=("figure", "loss-detection"),
+)
+def fig6_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 6: overhead as the total flow count sweeps (victims fixed)."""
+    from ..experiments.loss_detection import compare_schemes
+    from ..traffic.generator import generate_caida_like_trace
+
+    trace = generate_caida_like_trace(
+        num_flows=params["flows"],
+        victim_flows=min(params["victims"], params["flows"]),
+        loss_rate=params["loss_rate"],
+        victim_selection=params["victim_selection"],
+        seed=seed,
+    )
+    measurements = compare_schemes(trace, trials=params["trials"], seed=seed)
+    return [_loss_detection_row("flows", params["flows"], measurements)]
+
+
+# --------------------------------------------------------------------------- #
+# Figures 7-9: shifting measurement attention
+# --------------------------------------------------------------------------- #
+@scenario(
+    "fig7",
+    title="measurement attention vs. number of flows",
+    params=dict(
+        workload="DCTCP",
+        flows=(400, 800, 1600, 2400, 3200),
+        victim_ratio=0.10,
+        loss_rate=0.05,
+        scale=0.05,
+        max_epochs=6,
+    ),
+    axis="flows",
+    seed=7,
+    smoke=dict(flows=(150, 300), max_epochs=2),
+    tags=("figure", "attention"),
+)
+def fig7_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 7: attention shifting as the flow count grows (DCTCP)."""
+    from ..dataplane.config import SwitchResources
+    from ..experiments.attention import stable_point
+
+    point = stable_point(
+        params["workload"],
+        num_flows=params["flows"],
+        victim_ratio=params["victim_ratio"],
+        x_value=float(params["flows"]),
+        resources=SwitchResources.scaled(params["scale"]),
+        loss_rate=params["loss_rate"],
+        seed=seed,
+        max_epochs=params["max_epochs"],
+    )
+    return [_attention_row(point)]
+
+
+@scenario(
+    "fig8",
+    title="measurement attention vs. victim-flow ratio",
+    params=dict(
+        workload="DCTCP",
+        flows=1600,
+        victim_ratio=(0.025, 0.05, 0.10, 0.175, 0.25),
+        loss_rate=0.05,
+        scale=0.05,
+        max_epochs=6,
+    ),
+    axis="victim_ratio",
+    seed=8,
+    smoke=dict(flows=200, victim_ratio=(0.05, 0.2), max_epochs=2),
+    tags=("figure", "attention"),
+)
+def fig8_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 8: attention shifting as the victim ratio grows (DCTCP)."""
+    from ..dataplane.config import SwitchResources
+    from ..experiments.attention import stable_point
+
+    point = stable_point(
+        params["workload"],
+        num_flows=params["flows"],
+        victim_ratio=params["victim_ratio"],
+        x_value=100.0 * params["victim_ratio"],
+        resources=SwitchResources.scaled(params["scale"]),
+        loss_rate=params["loss_rate"],
+        seed=seed,
+        max_epochs=params["max_epochs"],
+    )
+    return [_attention_row(point)]
+
+
+@scenario(
+    "fig9",
+    title="measurement attention timeline over changing network state",
+    params=dict(
+        workload="DCTCP",
+        schedule=(
+            (400, 0.05),
+            (800, 0.05),
+            (1600, 0.10),
+            (2400, 0.15),
+            (2400, 0.25),
+            (2400, 0.15),
+            (1600, 0.10),
+            (800, 0.05),
+            (400, 0.05),
+        ),
+        epochs_per_stage=4,
+        loss_rate=0.05,
+        scale=0.05,
+    ),
+    seed=9,
+    smoke=dict(schedule=((150, 0.05), (300, 0.15)), epochs_per_stage=2),
+    tags=("figure", "attention"),
+)
+def fig9_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Figure 9: one long window across 8 network-state changes."""
+    from ..experiments.attention import run_timeline
+
+    timeline = run_timeline(
+        workload=params["workload"],
+        schedule=tuple(tuple(stage) for stage in params["schedule"]),
+        epochs_per_stage=params["epochs_per_stage"],
+        loss_rate=params["loss_rate"],
+        scale=params["scale"],
+        seed=seed,
+    )
+    rows = [
+        {
+            "epoch": epoch.epoch,
+            "flows": epoch.num_flows,
+            "victim_ratio": epoch.victim_ratio,
+            "level": epoch.level,
+            "mem_hh": epoch.memory_division["hh"],
+            "mem_hl": epoch.memory_division["hl"],
+            "mem_ll": epoch.memory_division["ll"],
+            "threshold_high": epoch.threshold_high,
+            "threshold_low": epoch.threshold_low,
+            "sample_rate": epoch.sample_rate,
+            "loss_f1": epoch.loss_f1,
+        }
+        for epoch in timeline.epochs
+    ]
+    return {
+        "rows": rows,
+        "extras": {
+            "shift_epochs": list(timeline.shift_epochs),
+            "max_shift_epochs": timeline.max_shift_epochs(),
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10: FermatSketch fingerprints (appendix A.4)
+# --------------------------------------------------------------------------- #
+def _fig10_success_rate(
+    num_flows: int, buckets_per_flow: float, fingerprint_bits: int, trials: int, seed: int
+) -> float:
+    from ..sketches.registry import build
+    from ..traffic.generator import generate_caida_like_trace
+
+    successes = 0
+    per_array = max(1, int(num_flows * buckets_per_flow / 3))
+    for trial in range(trials):
+        trace = generate_caida_like_trace(num_flows=num_flows, seed=seed + trial)
+        sketch = build(
+            "fermat",
+            buckets_per_array=per_array,
+            num_arrays=3,
+            seed=trial,
+            fingerprint_bits=fingerprint_bits,
+        )
+        for flow in trace.flows:
+            sketch.insert(flow.flow_id, flow.size)
+        if sketch.decode().success:
+            successes += 1
+    return successes / trials
+
+
+@scenario(
+    "fig10",
+    title="FermatSketch decode success with/without 8-bit fingerprints",
+    params=dict(
+        flows=1000,
+        buckets_per_flow=(1.17, 1.20, 1.23, 1.26, 1.29),
+        trials=20,
+        fingerprint_bits=8,
+        plain_bucket_bytes=8,
+        fp_bucket_bytes=9,
+    ),
+    axis="buckets_per_flow",
+    seed=100,
+    smoke=dict(flows=150, buckets_per_flow=(1.23, 1.35), trials=3),
+    tags=("figure", "fermat"),
+)
+def fig10_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 10: success rate at equal buckets and at equal memory per flow."""
+    buckets_per_flow = params["buckets_per_flow"]
+    without_fp = _fig10_success_rate(
+        params["flows"], buckets_per_flow, 0, params["trials"], seed
+    )
+    with_fp = _fig10_success_rate(
+        params["flows"], buckets_per_flow, params["fingerprint_bits"], params["trials"], seed
+    )
+    # Same memory per flow: the fingerprint variant gets 8/9 of the buckets.
+    same_memory_fp = _fig10_success_rate(
+        params["flows"],
+        buckets_per_flow * params["plain_bucket_bytes"] / params["fp_bucket_bytes"],
+        params["fingerprint_bits"],
+        params["trials"],
+        seed,
+    )
+    return [
+        {
+            "buckets_per_flow": buckets_per_flow,
+            "no_fp": without_fp,
+            "fp_same_buckets": with_fp,
+            "fp_same_memory": same_memory_fp,
+        }
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11: the six packet-accumulation tasks
+# --------------------------------------------------------------------------- #
+@scenario(
+    "fig11",
+    title="the six packet-accumulation tasks vs. memory",
+    params=dict(
+        flows=4000,
+        memory_kb=(50, 100, 150),
+        distribution_iterations=3,
+    ),
+    axis="memory_kb",
+    seed=11,
+    smoke=dict(flows=400, memory_kb=(20, 40), distribution_iterations=2),
+    tags=("figure", "accumulation"),
+)
+def fig11_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figure 11 (a-f): Tower+Fermat vs. nine baselines at one memory budget."""
+    from ..experiments.accumulation import evaluate_tasks
+    from ..traffic.generator import generate_caida_like_trace
+
+    first = generate_caida_like_trace(num_flows=params["flows"], seed=seed)
+    second = generate_caida_like_trace(num_flows=params["flows"], seed=seed + 1)
+    result = evaluate_tasks(
+        first,
+        second,
+        memory_bytes=params["memory_kb"] * 1000,
+        seed=seed,
+        distribution_iterations=params["distribution_iterations"],
+    )
+    rows = []
+    for metric, values in result.as_dict().items():
+        for algorithm in sorted(values):
+            rows.append(
+                {
+                    "memory_kb": params["memory_kb"],
+                    "metric": metric,
+                    "algorithm": algorithm,
+                    "value": values[algorithm],
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 14-19: the other three workloads (appendix E)
+# --------------------------------------------------------------------------- #
+@scenario(
+    "workloads",
+    title="attention sweeps on the CACHE / VL2 / HADOOP workloads",
+    params=dict(
+        workload=("CACHE", "VL2", "HADOOP"),
+        flow_counts=(400, 1600, 3200),
+        victim_ratios=(0.05, 0.25),
+        ratio_flows=1600,
+        victim_ratio=0.10,
+        loss_rate=0.05,
+        scale=0.05,
+        max_epochs=5,
+    ),
+    axis="workload",
+    seed=14,
+    smoke=dict(
+        workload=("CACHE",),
+        flow_counts=(150, 300),
+        victim_ratios=(0.05, 0.2),
+        ratio_flows=200,
+        max_epochs=2,
+    ),
+    tags=("figure", "attention"),
+)
+def workloads_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Figures 14-19: the Figure 7/8 sweeps on one non-DCTCP workload."""
+    from ..experiments.attention import sweep_num_flows, sweep_victim_ratio
+
+    flows_sweep = sweep_num_flows(
+        workload=params["workload"],
+        flow_counts=params["flow_counts"],
+        victim_ratio=params["victim_ratio"],
+        loss_rate=params["loss_rate"],
+        scale=params["scale"],
+        max_epochs=params["max_epochs"],
+        seed=seed,
+    )
+    ratio_sweep = sweep_victim_ratio(
+        workload=params["workload"],
+        victim_ratios=params["victim_ratios"],
+        num_flows=params["ratio_flows"],
+        loss_rate=params["loss_rate"],
+        scale=params["scale"],
+        max_epochs=params["max_epochs"],
+        seed=seed + 1,
+    )
+    rows = []
+    for point in flows_sweep.points:
+        rows.append({"kind": "flows", "workload": params["workload"], **_attention_row(point)})
+    for point in ratio_sweep.points:
+        rows.append({"kind": "ratio", "workload": params["workload"], **_attention_row(point)})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figures 20-22: control-loop overheads (appendix F)
+# --------------------------------------------------------------------------- #
+@scenario(
+    "overheads",
+    title="control-loop response time, bandwidth, and reconfiguration model",
+    params=dict(
+        epochs_ms=(50, 100, 200, 400, 800, 1000),
+        response_flows=(10_000, 40_000, 70_000, 100_000),
+        workloads=("DCTCP", "CACHE", "VL2", "HADOOP"),
+        live_flows=1200,
+        include_live=True,
+        reconfig_samples=200,
+        live_scale=0.05,
+    ),
+    seed=20,
+    smoke=dict(include_live=False, reconfig_samples=30),
+    tags=("figure", "overheads"),
+)
+def overheads_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Figures 20-22: timing/bandwidth model plus the live Python controller."""
+    from ..controlplane.analysis import packet_loss_detection
+    from ..controlplane.timing import (
+        CollectionModel,
+        epoch_budget_ms,
+        reconfiguration_time_cdf,
+        response_time_ms,
+    )
+    from ..dataplane.config import EncoderLayout, MonitoringConfig, SwitchResources
+    from ..network.simulator import build_testbed_simulator
+    from ..traffic.generator import generate_workload
+
+    resources = SwitchResources()  # full testbed configuration for the model
+    collection = CollectionModel(resources)
+    rows: List[Dict[str, Any]] = []
+
+    # Figure 20 (model): response time for the paper's network states.
+    for num_flows in params["response_flows"]:
+        hh_candidates = min(7000, num_flows // 12)
+        hls = min(6000, num_flows // 10)
+        rows.append(
+            {
+                "kind": "response_model",
+                "flows": num_flows,
+                "response_ms": response_time_ms(hh_candidates, hls, 500),
+            }
+        )
+
+    # Figure 20 (live): wall-clock analysis time of this Python controller.
+    if params["include_live"]:
+        for workload in params["workloads"]:
+            simulator = build_testbed_simulator(
+                resources=SwitchResources.scaled(params["live_scale"]), seed=seed
+            )
+            trace = generate_workload(
+                workload,
+                num_flows=params["live_flows"],
+                victim_ratio=0.1,
+                loss_rate=0.05,
+                num_hosts=simulator.topology.num_hosts,
+                seed=seed,
+            )
+            simulator.run_epoch(trace)
+            groups = {
+                node: switch.end_epoch() for node, switch in simulator.switches.items()
+            }
+            start = time.perf_counter()
+            packet_loss_detection(groups)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            rows.append(
+                {"kind": "response_live", "workload": workload, "response_ms": elapsed_ms}
+            )
+
+    # Figure 21: collection bandwidth vs. epoch length.
+    for epoch_ms in params["epochs_ms"]:
+        rows.append(
+            {
+                "kind": "bandwidth",
+                "epoch_ms": epoch_ms,
+                "mbps": collection.bandwidth_mbps(epoch_ms),
+            }
+        )
+
+    # Figure 22: CDF of reconfiguration time over random configurations.
+    rng = random.Random(seed + 2)
+    configs = []
+    for _ in range(params["reconfig_samples"]):
+        m_hl = rng.randrange(resources.min_hl_buckets, resources.downstream_buckets)
+        m_ll = rng.randrange(0, resources.downstream_buckets - m_hl)
+        configs.append(
+            MonitoringConfig(
+                layout=EncoderLayout(
+                    m_hh=resources.upstream_buckets - m_hl - m_ll, m_hl=m_hl, m_ll=m_ll
+                ),
+                threshold_high=rng.randrange(1, 1000) + 1000,
+                threshold_low=rng.randrange(1, 1000),
+                sample_rate=rng.random(),
+            )
+        )
+    cdf = reconfiguration_time_cdf(configs, seed=seed + 2)
+    for quantile in (0.1, 0.5, 0.9):
+        rows.append(
+            {
+                "kind": "reconfig_cdf",
+                "quantile": quantile,
+                "ms": cdf[int(quantile * (len(cdf) - 1))],
+            }
+        )
+
+    budget = epoch_budget_ms(
+        resources,
+        num_hh_candidates=4000,
+        num_heavy_losses=3000,
+        num_sampled_light_losses=500,
+        config=resources.initial_config(),
+    )
+    return {
+        "rows": rows,
+        "extras": {"epoch_budget_ms": dict(budget), "reconfiguration_cdf": list(cdf)},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# DESIGN.md ablations
+# --------------------------------------------------------------------------- #
+@scenario(
+    "ablation_classifier",
+    title="TowerSketch vs. Count-Min as the flow classifier",
+    params=dict(flows=4000, memory_kb=(8, 16, 32)),
+    axis="memory_kb",
+    seed=40,
+    smoke=dict(flows=400, memory_kb=(4, 8)),
+    tags=("ablation",),
+)
+def ablation_classifier_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Classifier ARE on small flows: Tower vs. Count-Min at equal memory."""
+    from ..metrics.accuracy import average_relative_error
+    from ..sketches.registry import build
+    from ..traffic.generator import generate_caida_like_trace
+
+    trace = generate_caida_like_trace(num_flows=params["flows"], seed=seed)
+    truth = trace.flow_sizes()
+    memory_bytes = params["memory_kb"] * 1000
+    tower = build("tower", memory_bytes=memory_bytes, seed=1)
+    cm = build("cm", memory_bytes=memory_bytes, depth=3, seed=1)
+    for flow, size in truth.items():
+        tower.insert(flow, size)
+        cm.insert(flow, size)
+    capped_truth = {flow: size for flow, size in truth.items() if size < 255}
+    return [
+        {
+            "memory_kb": params["memory_kb"],
+            "tower_are": average_relative_error(
+                capped_truth, {flow: tower.query(flow) for flow in capped_truth}
+            ),
+            "cm_are": average_relative_error(
+                capped_truth, {flow: cm.query(flow) for flow in capped_truth}
+            ),
+        }
+    ]
+
+
+@scenario(
+    "ablation_fermat",
+    title="FermatSketch array count and load-factor ablations",
+    params=dict(
+        flows=1000,
+        num_arrays=(2, 3, 4, 5),
+        load_factors=(0.5, 0.6, 0.7, 0.75, 0.81, 0.9),
+        trials=10,
+        decode_trials=3,
+        load_seed=300,
+    ),
+    seed=30,
+    smoke=dict(flows=200, num_arrays=(2, 3), load_factors=(0.5, 0.9), trials=2),
+    tags=("ablation", "fermat"),
+)
+def ablation_fermat_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Minimum buckets vs. d, and decode success vs. load factor (d = 3)."""
+    from ..sketches.registry import build
+    from ..sketches.fermat import FermatSketch, peeling_threshold
+    from ..traffic.generator import generate_caida_like_trace
+
+    num_flows = params["flows"]
+    rows: List[Dict[str, Any]] = []
+
+    trace = generate_caida_like_trace(num_flows=num_flows, seed=seed)
+    for num_arrays in params["num_arrays"]:
+        per_array = max(4, num_flows // num_arrays // 4)
+        while True:
+            ok = True
+            for trial in range(params["decode_trials"]):
+                sketch = build(
+                    "fermat", buckets_per_array=per_array, num_arrays=num_arrays, seed=trial
+                )
+                for flow in trace.flows:
+                    sketch.insert(flow.flow_id, flow.size)
+                if not sketch.decode().success:
+                    ok = False
+                    break
+            if ok:
+                break
+            per_array = int(per_array * 1.1) + 1
+        buckets = per_array * num_arrays
+        rows.append(
+            {
+                "kind": "arrays",
+                "num_arrays": num_arrays,
+                "buckets": buckets,
+                "buckets_per_flow": buckets / num_flows,
+                "theoretical_c_d": peeling_threshold(num_arrays),
+            }
+        )
+
+    for load_factor in params["load_factors"]:
+        successes = 0
+        for trial in range(params["trials"]):
+            load_trace = generate_caida_like_trace(
+                num_flows=num_flows, seed=params["load_seed"] + trial
+            )
+            sketch = FermatSketch.for_flow_count(
+                num_flows, load_factor=load_factor, seed=trial, fingerprint_bits=8
+            )
+            for flow in load_trace.flows:
+                sketch.insert(flow.flow_id, flow.size)
+            if sketch.decode().success:
+                successes += 1
+        rows.append(
+            {
+                "kind": "load",
+                "load_factor": load_factor,
+                "success_rate": successes / params["trials"],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Backend performance
+# --------------------------------------------------------------------------- #
+@scenario(
+    "backend_speedup",
+    title="batched NumPy epoch pipeline vs. the scalar reference",
+    params=dict(flows=100_000, loss_rate=0.02, victim_divisor=50, sim_seed=7, repeats=2),
+    seed=3,
+    smoke=dict(flows=2000, repeats=1),
+    tags=("bench",),
+)
+def backend_speedup_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Wall-time and bit-identity of batched vs. scalar ``run_epoch``."""
+    from ..dataplane.config import MonitoringConfig, SwitchResources
+    from ..network.simulator import build_testbed_simulator
+    from ..traffic.generator import generate_caida_like_trace
+
+    def fresh_simulator():
+        resources = SwitchResources()
+        config = MonitoringConfig(
+            layout=resources.ill_layout,
+            threshold_high=64,
+            threshold_low=8,
+            sample_rate=0.75,
+        )
+        return build_testbed_simulator(
+            resources=resources, config=config, seed=params["sim_seed"]
+        )
+
+    trace = generate_caida_like_trace(
+        params["flows"],
+        victim_flows=max(1, params["flows"] // params["victim_divisor"]),
+        loss_rate=params["loss_rate"],
+        seed=seed,
+    )
+
+    def timed_epoch(batched: bool):
+        # Best-of-N over fresh simulators: the epoch is deterministic, so
+        # repeats only filter scheduler noise out of the wall time.
+        best = float("inf")
+        for _ in range(max(1, params["repeats"])):
+            simulator = fresh_simulator()
+            start = time.perf_counter()
+            truth = simulator.run_epoch(trace, batched=batched)
+            best = min(best, time.perf_counter() - start)
+        return simulator, truth, best
+
+    scalar_sim, scalar_truth, scalar_seconds = timed_epoch(batched=False)
+    batched_sim, batched_truth, batched_seconds = timed_epoch(batched=True)
+
+    identical = (
+        batched_truth.flow_sizes == scalar_truth.flow_sizes
+        and batched_truth.losses == scalar_truth.losses
+        and batched_truth.per_switch_flows == scalar_truth.per_switch_flows
+        and _decode_state(batched_sim) == _decode_state(scalar_sim)
+    )
+    return {
+        "rows": [
+            {
+                "flows": params["flows"],
+                "packets": trace.num_packets(),
+                "scalar_seconds": scalar_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": scalar_seconds / max(batched_seconds, 1e-9),
+            }
+        ],
+        "extras": {"identical": identical},
+    }
+
+
+def _decode_state(simulator):
+    """Decode every encoder part of every switch (plus classifier counters)."""
+    state = {}
+    for node, switch in sorted(simulator.switches.items()):
+        group = switch.end_epoch()
+        towers = tuple(
+            tuple(group.classifier.tower.counter_array(level))
+            for level in range(len(group.classifier.tower.levels))
+        )
+        decodes = {}
+        for direction, encoder in (("up", group.upstream), ("down", group.downstream)):
+            for name in ("hh", "hl", "ll"):
+                part = encoder.parts.part(name)
+                if part is None:
+                    continue
+                result = part.decode_nondestructive()
+                decodes[(direction, name)] = (
+                    result.success,
+                    tuple(sorted(result.flows.items())),
+                )
+        state[node] = (towers, decodes)
+    return state
+
+
+# --------------------------------------------------------------------------- #
+# Full-system demo
+# --------------------------------------------------------------------------- #
+@scenario(
+    "demo",
+    title="run the full ChameleMon system for a few epochs",
+    params=dict(
+        workload="DCTCP",
+        flows=1000,
+        epochs=5,
+        victim_ratio=0.10,
+        loss_rate=0.05,
+        scale=0.05,
+    ),
+    seed=0,
+    smoke=dict(flows=150, epochs=2),
+    tags=("demo",),
+)
+def demo_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Per-epoch state of the full system on one workload."""
+    from ..core import ChameleMon
+    from ..dataplane.config import SwitchResources
+    from ..traffic.generator import generate_workload
+
+    system = ChameleMon(resources=SwitchResources.scaled(params["scale"]), seed=seed)
+    rows = []
+    for epoch in range(params["epochs"]):
+        trace = generate_workload(
+            params["workload"],
+            num_flows=params["flows"],
+            victim_ratio=params["victim_ratio"],
+            loss_rate=params["loss_rate"],
+            num_hosts=system.num_hosts,
+            seed=seed + epoch,
+        )
+        result = system.run_epoch(trace)
+        rows.append(
+            {
+                "epoch": epoch,
+                "level": result.level.value,
+                "config": result.config.describe(),
+                "loss_f1": result.loss_accuracy()["f1"],
+            }
+        )
+    return rows

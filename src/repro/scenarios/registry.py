@@ -1,0 +1,94 @@
+"""The scenario registry: ``@scenario(...)`` definitions, looked up by name.
+
+The registry itself is tiny; the definitions live in
+``repro/scenarios/catalog.py``, which is imported lazily on first lookup so
+that ``import repro`` stays cheap.  Worker processes of the sweep runner
+resolve scenarios through the same lookup, so a scenario reference is just a
+picklable name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from .spec import PointFunction, Scenario
+
+_SCENARIOS: Dict[str, Scenario] = {}
+_catalog_loaded = False
+
+
+def register(spec: Scenario, *, replace: bool = False) -> Scenario:
+    """Register a fully-built :class:`Scenario`."""
+    if spec.name in _SCENARIOS and not replace:
+        raise ValueError(f"scenario '{spec.name}' is already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario(
+    name: str,
+    *,
+    title: str,
+    params: Mapping[str, Any],
+    axis: Optional[str] = None,
+    seed: int = 0,
+    seed_policy: str = "shared",
+    smoke: Optional[Mapping[str, Any]] = None,
+    tags: Tuple[str, ...] = (),
+) -> Callable[[PointFunction], PointFunction]:
+    """Decorator registering a point function as a scenario.
+
+    The decorated function is returned unchanged (and must stay importable at
+    module top level so process-pool workers can execute it).
+    """
+
+    def decorator(func: PointFunction) -> PointFunction:
+        register(
+            Scenario(
+                name=name,
+                title=title,
+                func=func,
+                params=dict(params),
+                axis=axis,
+                seed=seed,
+                seed_policy=seed_policy,
+                smoke=dict(smoke or {}),
+                tags=tuple(tags),
+            )
+        )
+        return func
+
+    return decorator
+
+
+def _load_catalog() -> None:
+    global _catalog_loaded
+    if not _catalog_loaded:
+        from . import catalog  # noqa: F401  (imports register the scenarios)
+
+        # Marked loaded only after a successful import, so a broken catalog
+        # re-raises its real error on every lookup instead of leaving the
+        # registry silently empty.
+        _catalog_loaded = True
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (loads the catalog on first use)."""
+    _load_catalog()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario '{name}'; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> list:
+    _load_catalog()
+    return sorted(_SCENARIOS)
+
+
+def iter_scenarios() -> Iterator[Scenario]:
+    _load_catalog()
+    for name in sorted(_SCENARIOS):
+        yield _SCENARIOS[name]

@@ -1,0 +1,151 @@
+"""Typed, serializable experiment results.
+
+A :class:`RunResult` is one executed sweep point: the resolved parameters,
+the derived seed, the measured wall time, the data ``rows`` the point
+produced, and any scalar ``extras``.  A :class:`SweepResult` is the ordered
+collection of points of one scenario run plus run-level metadata.  Both
+serialize with ``to_dict()`` / ``to_json()`` / ``to_csv()`` so results can be
+archived, diffed, and plotted without re-running the experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def normalize_output(output: Any) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Normalize a point function's return value to ``(rows, extras)``.
+
+    Accepted shapes: a list of row dicts; a single row dict; or a dict with a
+    ``"rows"`` key (and optionally ``"extras"``) for points that also produce
+    scalar side results.
+    """
+    if isinstance(output, dict):
+        if "rows" in output:
+            rows = list(output["rows"])
+            extras = dict(output.get("extras", {}))
+        else:
+            rows, extras = [dict(output)], {}
+    elif isinstance(output, (list, tuple)):
+        rows, extras = [dict(row) for row in output], {}
+    else:
+        raise TypeError(
+            f"point function must return rows (list/dict), got {type(output).__name__}"
+        )
+    for row in rows:
+        if not isinstance(row, dict):
+            raise TypeError("every row must be a dict")
+    return rows, extras
+
+
+def _jsonable(value: Any) -> Any:
+    """Make params/extras JSON-clean (tuples become lists, keys strings)."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item"):  # NumPy scalars
+        return value.item()
+    return value
+
+
+def rows_to_csv(rows: List[Dict[str, Any]], path: Optional[str] = None) -> str:
+    """Render rows as CSV text; the column set is the union of row keys."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+@dataclass
+class RunResult:
+    """One executed sweep point."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    rows: List[Dict[str, Any]]
+    extras: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "params": _jsonable(self.params),
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "rows": _jsonable(self.rows),
+            "extras": _jsonable(self.extras),
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        return rows_to_csv(self.rows, path=path)
+
+
+@dataclass
+class SweepResult:
+    """All points of one scenario run, in sweep order."""
+
+    scenario: str
+    params: Dict[str, Any]
+    seed: int
+    jobs: int
+    points: List[RunResult]
+    wall_seconds: float = 0.0
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All points' rows, concatenated in sweep order."""
+        return [row for point in self.points for row in point.rows]
+
+    def extras(self) -> Dict[str, Any]:
+        """Merged extras of every point (later points win on key clashes)."""
+        merged: Dict[str, Any] = {}
+        for point in self.points:
+            merged.update(point.extras)
+        return merged
+
+    def column(self, key: str) -> List[Any]:
+        """One column of :meth:`rows` (missing keys become ``None``)."""
+        return [row.get(key) for row in self.rows()]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "params": _jsonable(self.params),
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        return rows_to_csv(self.rows(), path=path)

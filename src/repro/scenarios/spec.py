@@ -1,0 +1,163 @@
+"""The :class:`Scenario` specification: what one experiment is, declaratively.
+
+A scenario bundles a *point function* — one sweep point's computation — with
+its default parameters, the sweep axis, and the seed policy.  The runner
+expands the axis into per-point parameter dictionaries, derives one seed per
+point, and executes the point function once per point (serially or in a
+process pool); the point function itself never loops over the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Point functions receive ``(params, seed)`` and return rows (see
+#: ``results.normalize_output`` for the accepted shapes).
+PointFunction = Callable[[Dict[str, Any], int], Any]
+
+#: Supported seed policies.
+#: ``shared``: every sweep point uses the scenario's base seed (the paper
+#: figures hold the workload seed fixed while sweeping a parameter).
+#: ``offset``: point ``i`` uses ``base_seed + i`` (independent workloads).
+SEED_POLICIES = ("shared", "offset")
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario definitions or invalid overrides."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment: point function + parameters + sweep axis."""
+
+    name: str
+    title: str
+    func: PointFunction
+    params: Mapping[str, Any]
+    axis: Optional[str] = None
+    seed: int = 0
+    seed_policy: str = "shared"
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed_policy not in SEED_POLICIES:
+            raise ScenarioError(
+                f"scenario '{self.name}': seed_policy must be one of {SEED_POLICIES}"
+            )
+        if self.axis is not None and self.axis not in self.params:
+            raise ScenarioError(
+                f"scenario '{self.name}': axis '{self.axis}' is not a parameter"
+            )
+        if self.axis is not None and not _is_sequence(self.params[self.axis]):
+            raise ScenarioError(
+                f"scenario '{self.name}': axis parameter '{self.axis}' must "
+                f"default to a sequence of sweep values"
+            )
+
+    @property
+    def description(self) -> str:
+        """First line of the point function's docstring, if any."""
+        doc = (self.func.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else self.title
+
+    # ------------------------------------------------------------------ #
+    # parameter handling
+    # ------------------------------------------------------------------ #
+    def merged_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Defaults merged with ``overrides`` (strings coerced to param types)."""
+        merged = dict(self.params)
+        for key, value in (overrides or {}).items():
+            if key not in merged:
+                raise ScenarioError(
+                    f"scenario '{self.name}' has no parameter '{key}' "
+                    f"(parameters: {', '.join(sorted(merged))})"
+                )
+            merged[key] = coerce(value, merged[key], name=key)
+        return merged
+
+    def sweep_points(
+        self, overrides: Optional[Mapping[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Expand the sweep axis into one parameter dict per point."""
+        params = self.merged_params(overrides)
+        if self.axis is None:
+            return [params]
+        values = params[self.axis]
+        if not _is_sequence(values):
+            values = (values,)
+        if not values:
+            raise ScenarioError(
+                f"scenario '{self.name}': axis '{self.axis}' has no sweep values"
+            )
+        return [{**params, self.axis: value} for value in values]
+
+    def point_seed(self, base_seed: Optional[int], index: int) -> int:
+        """Deterministic seed of sweep point ``index`` (order-independent)."""
+        seed = self.seed if base_seed is None else base_seed
+        if self.seed_policy == "offset":
+            return seed + index
+        return seed
+
+
+def _is_sequence(value: Any) -> bool:
+    return isinstance(value, (list, tuple))
+
+
+def coerce(value: Any, default: Any, name: str = "?") -> Any:
+    """Coerce an override (possibly a CLI string) to the default's type.
+
+    Non-string overrides pass through unchanged.  Strings are parsed according
+    to the default value: comma-separated lists for sequence parameters (the
+    element type is taken from the default's first element; nested pairs such
+    as fig9's schedule use ``:`` within each element, e.g.
+    ``schedule=400:0.05,800:0.15``), ``int``/``float``/``bool`` scalars, and
+    plain strings otherwise.
+    """
+    if not isinstance(value, str):
+        if _is_sequence(default) and not _is_sequence(value):
+            return (value,)
+        return value
+    if _is_sequence(default):
+        element = default[0] if default else ""
+        parts = [part for part in value.split(",") if part != ""]
+        if _is_sequence(element):
+            return tuple(_coerce_group(part, element, name) for part in parts)
+        return tuple(_coerce_scalar(part, element, name) for part in parts)
+    return _coerce_scalar(value, default, name)
+
+
+def _coerce_group(text: str, element_default: Sequence[Any], name: str) -> Tuple[Any, ...]:
+    pieces = text.split(":")
+    if len(pieces) != len(element_default):
+        raise ScenarioError(
+            f"parameter '{name}' expects ':'-separated groups of "
+            f"{len(element_default)} values (e.g. "
+            f"'{':'.join(str(v) for v in element_default)}'), got '{text}'"
+        )
+    return tuple(
+        _coerce_scalar(piece, default, name)
+        for piece, default in zip(pieces, element_default)
+    )
+
+
+def _coerce_scalar(text: str, default: Any, name: str) -> Any:
+    text = text.strip()
+    try:
+        if isinstance(default, bool):
+            lowered = text.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(text)
+        if isinstance(default, int):
+            return int(text)
+        if isinstance(default, float):
+            return float(text)
+    except ValueError:
+        raise ScenarioError(
+            f"cannot parse '{text}' as {type(default).__name__} for parameter '{name}'"
+        ) from None
+    return text

@@ -33,6 +33,7 @@ from .mrac import (
     estimate_flow_size_distribution,
     merge_distributions,
 )
+from .registry import available, build, is_registered, register_sketch
 from .tower import TowerLevel, TowerSketch
 from .univmon import UnivMon
 
@@ -64,6 +65,8 @@ __all__ = [
     "TowerLevel",
     "TowerSketch",
     "UnivMon",
+    "available",
+    "build",
     "counter_value_histogram",
     "distribution_entropy",
     "estimate_cardinality",
@@ -71,11 +74,13 @@ __all__ = [
     "estimate_flows_per_bucket_array",
     "flowradar_loss_detection",
     "fold_key",
+    "is_registered",
     "linear_counting_estimate",
     "lossradar_loss_detection",
     "merge_distributions",
     "minimum_memory_for_flows",
     "packet_loss_sketch_pair",
     "peeling_threshold",
+    "register_sketch",
     "unfold_key",
 ]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,3 +53,127 @@ class TestExecution:
         ]) == 0
         out = capsys.readouterr().out
         assert "epoch 0" in out and "epoch 1" in out
+
+
+class TestRegistryCommands:
+    """The registry-facing surface: run / list / describe."""
+
+    def test_list_marks_registry_and_aliases(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.scenarios registry" in out
+        assert "legacy aliases" in out
+        # Registry-only scenarios appear even though they have no alias.
+        for name in ("fig5", "fig6", "fig10", "workloads", "backend_speedup"):
+            assert name in out
+
+    def test_describe_prints_parameters(self, capsys):
+        assert main(["describe", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "victims" in out and "sweep axis" in out
+
+    def test_describe_unknown_scenario(self, capsys):
+        assert main(["describe", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_fig4_json_stdout_is_parseable(self, capsys):
+        assert main([
+            "run", "fig4", "--set", "flows=200", "--set", "victims=30",
+            "--set", "trials=1", "--json", "-",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "fig4"
+        assert payload["points"][0]["rows"][0]["victims"] == 30
+
+    def test_run_unknown_scenario_fails(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_bad_override_fails(self, capsys):
+        assert main(["run", "fig4", "--set", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_run_malformed_set_fails(self, capsys):
+        assert main(["run", "fig4", "--set", "flows"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_global_seed_before_subcommand(self, capsys):
+        assert main([
+            "--seed", "11", "run", "fig4", "--set", "flows=150",
+            "--set", "victims=20", "--set", "trials=1", "--json", "-",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 11
+
+    def test_registry_only_scenario_runs_via_cli(self, capsys):
+        assert main([
+            "run", "fig6", "--set", "flows=100,200", "--set", "victims=20",
+            "--set", "trials=1", "--jobs", "2", "--json", "-",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["rows"][0]["flows"] for p in payload["points"]] == [100, 200]
+
+    def test_run_csv_stdout(self, capsys):
+        assert main([
+            "run", "fig4", "--set", "flows=150", "--set", "victims=20",
+            "--set", "trials=1", "--csv", "-",
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("victims,")
+
+    def test_run_honours_global_loss_rate_flag(self, capsys):
+        assert main([
+            "run", "fig4", "--set", "flows=150", "--set", "victims=20",
+            "--set", "trials=1", "--loss-rate", "0.5", "--json", "-",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["loss_rate"] == 0.5
+
+    def test_json_and_csv_cannot_both_stream_to_stdout(self, capsys):
+        assert main([
+            "run", "fig4", "--set", "flows=150", "--json", "-", "--csv", "-",
+        ]) == 2
+        assert "cannot share stdout" in capsys.readouterr().err
+
+    def test_json_file_plus_csv_stdout_keeps_stream_pure(self, capsys, tmp_path):
+        """File-write status lines go to stderr, never into a stdout stream."""
+        out_path = str(tmp_path / "fig4.json")
+        assert main([
+            "run", "fig4", "--set", "flows=150", "--set", "victims=20",
+            "--set", "trials=1", "--json", out_path, "--csv", "-",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0].startswith("victims,")
+        assert "wrote" not in captured.out
+        assert out_path in captured.err
+        assert json.loads(open(out_path).read())["scenario"] == "fig4"
+
+    def test_legacy_alias_csv_stdout_is_pure(self, capsys):
+        """--csv - must not interleave the human table into the CSV stream."""
+        assert main([
+            "fig4", "--flows", "150", "--victims", "20", "--trials", "1",
+            "--csv", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "===" not in out
+        assert out.splitlines()[0].startswith("victims,")
+
+    def test_fig9_schedule_override_via_set(self, capsys):
+        assert main([
+            "run", "fig9", "--set", "schedule=150:0.05,300:0.15",
+            "--set", "epochs_per_stage=1", "--json", "-",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["schedule"] == [[150, 0.05], [300, 0.15]]
+
+    def test_fig9_malformed_schedule_fails_cleanly(self, capsys):
+        assert main(["run", "fig9", "--set", "schedule=150-0.05"]) == 2
+        assert "':'-separated" in capsys.readouterr().err
+
+    def test_fig9_flows_without_ratios_fails(self, capsys):
+        assert main(["fig9", "--flows", "150", "300"]) == 2
+        assert "--flows and --ratios together" in capsys.readouterr().err
+
+    def test_fig9_unequal_flows_ratios_fails(self, capsys):
+        assert main(["fig9", "--flows", "150", "300", "--ratios", "0.05"]) == 2
+        assert "--ratios values" in capsys.readouterr().err

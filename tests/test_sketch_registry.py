@@ -1,0 +1,102 @@
+"""Tests for the config-driven sketch registry."""
+
+import pytest
+
+from repro.experiments.accumulation import ALL_ALGORITHMS, build_sketch
+from repro.sketches.registry import available, build, is_registered, register_sketch
+
+
+class TestRegistryContents:
+    def test_all_fifteen_plus_sketches_registered(self):
+        names = available()
+        assert len(names) >= 15
+        expected = {
+            "tower_fermat", "cm", "cu", "countheap", "countsketch", "univmon",
+            "elastic", "fcm", "hashpipe", "coco", "mrac", "tower", "bloom",
+            "fermat", "flowradar", "lossradar",
+        }
+        assert expected <= set(names)
+
+    def test_every_accumulation_algorithm_is_registered(self):
+        for name in ALL_ALGORITHMS:
+            assert is_registered(name), name
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(KeyError, match="tower_fermat"):
+            build("bogus", memory_bytes=1000)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_sketch("cm")(lambda memory_bytes, seed=0: None)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", sorted(
+        {"tower_fermat", "cm", "cu", "countheap", "countsketch", "univmon",
+         "elastic", "fcm", "hashpipe", "coco", "mrac", "tower"}
+    ))
+    def test_memory_budget_construction_and_insert(self, name):
+        sketch = build(name, memory_bytes=20_000, seed=3)
+        for flow_id in range(1, 50):
+            sketch.insert(flow_id, flow_id % 7 + 1)
+        assert sketch.memory_bytes() > 0
+        assert sketch.query(1) >= 0
+
+    def test_fermat_from_memory_inserts_and_decodes(self):
+        sketch = build("fermat", memory_bytes=20_000, seed=3)
+        for flow_id in range(1, 50):
+            sketch.insert(flow_id, flow_id % 7 + 1)
+        result = sketch.decode()
+        assert result.success
+        assert result.flows[1] == 2
+
+    def test_invertible_meters_construct_from_memory(self):
+        for name in ("flowradar", "lossradar", "bloom"):
+            sketch = build(name, memory_bytes=10_000, seed=1)
+            assert sketch.memory_bytes() > 0
+
+    def test_fermat_accepts_buckets_per_array(self):
+        sketch = build("fermat", buckets_per_array=64, num_arrays=3, seed=2)
+        assert sketch.params.buckets_per_array == 64
+        assert sketch.params.num_arrays == 3
+
+    def test_ibf_meters_accept_num_cells(self):
+        assert build("flowradar", num_cells=120, seed=1).num_cells == 120
+        assert build("lossradar", num_cells=120, seed=1).num_cells == 120
+
+    def test_tower_fermat_threshold_kwarg(self):
+        sketch = build("tower_fermat", memory_bytes=50_000, seed=1, threshold=99)
+        assert sketch.threshold == 99
+
+    def test_irrelevant_kwargs_are_dropped(self):
+        # One config dict can drive heterogeneous sketches: cm has no T_h knob.
+        sketch = build("cm", memory_bytes=8_000, seed=1, hh_candidate_threshold=40)
+        assert sketch.memory_bytes() > 0
+
+    def test_missing_sizing_rejected(self):
+        with pytest.raises(ValueError, match="memory_bytes|buckets_per_array"):
+            build("fermat", seed=1)
+
+    @pytest.mark.parametrize("name", ["cm", "tower_fermat", "univmon", "bloom"])
+    def test_missing_memory_budget_rejected_clearly(self, name):
+        with pytest.raises(ValueError, match="requires memory_bytes"):
+            build(name, seed=1)
+
+
+class TestAccumulationDelegation:
+    def test_build_sketch_delegates_to_registry(self):
+        direct = build("cm", memory_bytes=16_000, seed=5)
+        wrapped = build_sketch("cm", 16_000, seed=5)
+        assert type(direct) is type(wrapped)
+        assert direct.memory_bytes() == wrapped.memory_bytes()
+        direct.insert(7, 3)
+        wrapped.insert(7, 3)
+        assert direct.query(7) == wrapped.query(7)
+
+    def test_build_sketch_threshold_reaches_tower_fermat(self):
+        sketch = build_sketch("tower_fermat", 50_000, seed=1, hh_candidate_threshold=123)
+        assert sketch.threshold == 123
+
+    def test_build_sketch_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            build_sketch("nope", 1000)
