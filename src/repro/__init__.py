@@ -47,6 +47,7 @@ from .sketches import (
     LossRadar,
     TowerSketch,
 )
+from .stream import StreamingEngine, StreamSummary
 from .traffic import FlowKey, Trace, generate_caida_like_trace, generate_workload
 
 __version__ = "1.0.0"
@@ -71,6 +72,8 @@ __all__ = [
     "NetworkSimulator",
     "RunResult",
     "Scenario",
+    "StreamSummary",
+    "StreamingEngine",
     "SweepResult",
     "SweepRunner",
     "SwitchResources",

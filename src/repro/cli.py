@@ -12,7 +12,17 @@ overrides, and formats results.  Usage::
 
 ``run`` executes any registered scenario; ``--jobs N`` fans the sweep points
 out over a process pool (rows are identical to the serial run).  ``--json -``
-prints the machine-readable result to stdout instead of a table.
+and ``--csv -`` stream the machine-readable result to stdout *as sweep points
+complete* (flushed row by row, so long sweeps are tail-able); the full JSON
+stream still parses as one document.
+
+``stream`` runs the continuous :mod:`repro.stream` engine — phase-scheduled
+synthetic traffic or a trace-file replay, live link failures/recoveries and
+flow bursts, per-epoch JSONL/CSV sinks — in O(epoch) memory::
+
+    python -m repro.cli stream --phases 400:0.05:6,1600:0.2:6 --jsonl run.jsonl
+    python -m repro.cli stream --trace traffic.jsonl --csv - --quiet
+    python -m repro.cli stream --fail-epoch 4 --recover-epoch 8
 
 The historical per-figure sub-commands (``fig4``, ``fig7`` … ``demo``) remain
 as aliases that map their legacy flags onto scenario overrides and route
@@ -22,11 +32,14 @@ through the same registry.
 from __future__ import annotations
 
 import argparse
+import csv
+import json
+import os
 import sys
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .scenarios import SweepRunner, get_scenario, iter_scenarios
-from .scenarios.results import SweepResult
+from .scenarios.results import RunResult, SweepResult, _jsonable, row_columns
 from .scenarios.spec import Scenario, ScenarioError
 
 
@@ -71,18 +84,95 @@ def _print_rows(title: str, rows: List[Dict[str, Any]]) -> None:
         )
 
 
+class _JsonRowStream:
+    """Streams a sweep's JSON document to stdout as sweep points complete.
+
+    The concatenated output is the same document :meth:`SweepResult.to_json`
+    produces (``json.loads`` of the full stream works), but each point's rows
+    are written — and flushed row by row — the moment that point finishes, so
+    a long sweep is tail-able while it runs.
+    """
+
+    @staticmethod
+    def _fields(obj: Dict[str, Any]) -> str:
+        """``"key": value`` pairs of an object body, without the braces."""
+        return ", ".join(
+            f"{json.dumps(key)}: {json.dumps(_jsonable(value))}"
+            for key, value in obj.items()
+        )
+
+    def __init__(self, scenario: str, params: Dict[str, Any], seed: int, jobs: int):
+        header = {"scenario": scenario, "params": params, "seed": seed, "jobs": jobs}
+        self._wrote_point = False
+        sys.stdout.write("{" + self._fields(header) + ', "points": [')
+        sys.stdout.flush()
+
+    def point(self, result: RunResult) -> None:
+        head = {
+            "scenario": result.scenario,
+            "params": result.params,
+            "seed": result.seed,
+            "wall_seconds": result.wall_seconds,
+        }
+        sys.stdout.write(
+            (",\n" if self._wrote_point else "\n")
+            + "{" + self._fields(head) + ', "rows": ['
+        )
+        self._wrote_point = True
+        for index, row in enumerate(result.rows):
+            sys.stdout.write(("," if index else "") + "\n" + json.dumps(_jsonable(row)))
+            sys.stdout.flush()
+        sys.stdout.write('], "extras": ' + json.dumps(_jsonable(result.extras)) + "}")
+        sys.stdout.flush()
+
+    def close(self, wall_seconds: float) -> None:
+        sys.stdout.write('\n], "wall_seconds": ' + json.dumps(wall_seconds) + "}\n")
+        sys.stdout.flush()
+
+
+class _CsvRowStream:
+    """Streams CSV rows to stdout as sweep points complete (flush per row).
+
+    The header comes from the first point that produces rows; later points
+    with extra keys have them dropped (sweep points of one scenario share
+    their row shape, so in practice the column set never changes mid-run).
+    """
+
+    def __init__(self) -> None:
+        self._writer: Optional[csv.DictWriter] = None
+
+    def point(self, result: RunResult) -> None:
+        if not result.rows:
+            return
+        if self._writer is None:
+            self._writer = csv.DictWriter(
+                sys.stdout,
+                fieldnames=row_columns(result.rows),
+                restval="",
+                extrasaction="ignore",
+            )
+            self._writer.writeheader()
+        for row in result.rows:
+            self._writer.writerow(row)
+            sys.stdout.flush()
+
+    def close(self, wall_seconds: float) -> None:  # symmetry with _JsonRowStream
+        sys.stdout.flush()
+
+
 def _emit(result: SweepResult, args: argparse.Namespace) -> None:
-    """Write/print a sweep result according to --json/--csv/--quiet."""
+    """Write/print a sweep result according to --json/--csv/--quiet.
+
+    Stdout streams (``--json -`` / ``--csv -``) were already written row by
+    row while the sweep ran (see ``_run_and_emit``); only files and the
+    human-readable table are handled here.
+    """
     json_out = getattr(args, "json_out", None)
     csv_out = getattr(args, "csv_out", None)
-    if json_out == "-":
-        print(result.to_json())
-    elif json_out:
+    if json_out and json_out != "-":
         result.to_json(path=json_out)
         print(f"wrote {json_out}", file=sys.stderr)
-    if csv_out == "-":
-        print(result.to_csv())
-    elif csv_out:
+    if csv_out and csv_out != "-":
         result.to_csv(path=csv_out)
         print(f"wrote {csv_out}", file=sys.stderr)
     if json_out == "-" or csv_out == "-" or getattr(args, "quiet", False):
@@ -137,8 +227,26 @@ def _run_and_emit(
             value = getattr(args, knob, None)
             if value is not None and knob in spec.params and knob not in overrides:
                 overrides[knob] = value
-        runner = SweepRunner(jobs=getattr(args, "jobs", 1) or 1)
-        result = runner.run(spec, overrides=overrides, seed=getattr(args, "seed", None))
+        jobs = getattr(args, "jobs", 1) or 1
+        seed = getattr(args, "seed", None)
+        # Stdout streams emit rows as each sweep point completes; files and
+        # tables still come from the collected SweepResult afterwards.
+        streamer = None
+        if getattr(args, "json_out", None) == "-":
+            streamer = _JsonRowStream(
+                spec.name, spec.merged_params(overrides), spec.point_seed(seed, 0), jobs
+            )
+        elif getattr(args, "csv_out", None) == "-":
+            streamer = _CsvRowStream()
+        runner = SweepRunner(jobs=jobs)
+        result = runner.run(
+            spec,
+            overrides=overrides,
+            seed=seed,
+            point_callback=streamer.point if streamer else None,
+        )
+        if streamer is not None:
+            streamer.close(result.wall_seconds)
     except ScenarioError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -190,6 +298,145 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     return _run_and_emit(args, args.scenario, overrides)
+
+
+# --------------------------------------------------------------------------- #
+# continuous streaming
+# --------------------------------------------------------------------------- #
+def _parse_phases(text: str):
+    """Parse ``flows:victim_ratio:epochs[,...]`` into stream phases."""
+    from .stream import Phase
+
+    phases = []
+    for part in text.split(","):
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise ScenarioError(
+                f"--phases expects flows:victim_ratio:epochs groups, got '{part}'"
+            )
+        try:
+            phases.append(
+                Phase(
+                    num_flows=int(pieces[0]),
+                    victim_ratio=float(pieces[1]),
+                    epochs=int(pieces[2]),
+                )
+            )
+        except ValueError as error:
+            raise ScenarioError(f"bad --phases value '{part}': {error}") from None
+    return phases
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the continuous streaming engine from the command line."""
+    from .dataplane.config import SwitchResources
+    from .network.topology import FatTreeTopology
+    from .stream import (
+        ConsoleSink,
+        CsvSink,
+        FlowBurstEvent,
+        JsonlSink,
+        LinkFailureEvent,
+        LinkRecoveryEvent,
+        Phase,
+        StreamingEngine,
+        SyntheticSource,
+        TraceFileSource,
+    )
+
+    if args.jsonl_out == "-" and args.csv_out == "-":
+        print("error: --jsonl - and --csv - cannot share stdout; write one "
+              "of them to a file", file=sys.stderr)
+        return 2
+    seed = args.seed if getattr(args, "seed", None) is not None else 0
+    scale = getattr(args, "scale", None)
+    loss_rate = getattr(args, "loss_rate", None)
+    try:
+        if args.trace:
+            if not os.path.isfile(args.trace):
+                raise ScenarioError(f"trace file '{args.trace}' does not exist")
+            source = TraceFileSource(args.trace, flows_per_epoch=args.flows_per_epoch)
+        else:
+            from .traffic.distributions import get_distribution
+
+            get_distribution(args.workload)  # fail fast on unknown workloads
+            phase_text = args.phases or "400:0.05:6,800:0.15:6,400:0.05:6"
+            phases = [
+                Phase(
+                    epochs=phase.epochs,
+                    num_flows=phase.num_flows,
+                    victim_ratio=phase.victim_ratio,
+                    loss_rate=loss_rate if loss_rate is not None else 0.05,
+                    workload=args.workload,
+                )
+                for phase in _parse_phases(phase_text)
+            ]
+            source = SyntheticSource(phases=phases, seed=seed)
+    except (ScenarioError, ValueError, KeyError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    events = []
+    if args.fail_epoch is not None or args.recover_epoch is not None:
+        topology = FatTreeTopology.testbed()
+        if not 0 <= args.fail_host < topology.num_hosts:
+            print(f"error: --fail-host must be in [0, {topology.num_hosts})",
+                  file=sys.stderr)
+            return 2
+        edge = topology.edge_switch_of_host(args.fail_host)
+        host = topology.host(args.fail_host)
+        if args.fail_epoch is not None:
+            events.append(
+                LinkFailureEvent(
+                    epoch=args.fail_epoch,
+                    endpoint_a=edge,
+                    endpoint_b=host,
+                    loss_rate=args.fail_loss,
+                )
+            )
+        if args.recover_epoch is not None:
+            events.append(
+                LinkRecoveryEvent(
+                    epoch=args.recover_epoch, endpoint_a=edge, endpoint_b=host
+                )
+            )
+    if args.burst_epoch is not None:
+        events.append(
+            FlowBurstEvent(
+                epoch=args.burst_epoch,
+                extra_flows=args.burst_flows,
+                duration=args.burst_duration,
+            )
+        )
+
+    sinks = []
+    if args.jsonl_out:
+        sinks.append(JsonlSink(args.jsonl_out))
+    if args.csv_out:
+        sinks.append(CsvSink(args.csv_out))
+    stdout_taken = args.jsonl_out == "-" or args.csv_out == "-"
+    if not args.quiet and not stdout_taken:
+        sinks.append(ConsoleSink())
+
+    engine = StreamingEngine(
+        source,
+        events=events,
+        sinks=sinks,
+        resources=SwitchResources.scaled(scale if scale is not None else 0.05),
+        seed=seed,
+        pipelined=not args.serial,
+        rolling_window=args.rolling_window,
+    )
+    summary = engine.run(max_epochs=args.epochs)
+    stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
+    print(
+        f"[stream] {summary.epochs} epochs, {summary.packets} packets in "
+        f"{summary.wall_seconds:.2f}s ({summary.epochs_per_second:.2f} epochs/s, "
+        f"{summary.packets_per_second:,.0f} pkt/s), peak resident "
+        f"{summary.peak_resident_flows} flows, mean F1 {summary.mean_f1:.3f}",
+        file=stream,
+    )
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -453,6 +700,53 @@ def build_parser() -> argparse.ArgumentParser:
                      "(lists as comma-separated values); repeatable")
     sub.add_argument("--quiet", action="store_true", help="suppress the table output")
     sub.set_defaults(handler=cmd_run)
+
+    sub = subparsers.add_parser(
+        "stream",
+        help="run the continuous streaming engine (bounded memory, live events)",
+    )
+    sub.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    sub.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                     help="switch-resource scale (default 0.05)")
+    sub.add_argument("--loss-rate", type=float, dest="loss_rate",
+                     default=argparse.SUPPRESS,
+                     help="victim packet-loss rate of the synthetic phases")
+    sub.add_argument("--phases", metavar="F:R:E[,...]",
+                     help="phase schedule as flows:victim_ratio:epochs groups "
+                          "(default 400:0.05:6,800:0.15:6,400:0.05:6)")
+    sub.add_argument("--workload", default="DCTCP",
+                     help="flow-size distribution of the synthetic phases")
+    sub.add_argument("--trace", metavar="PATH",
+                     help="replay a JSONL/CSV trace file instead of synthesising")
+    sub.add_argument("--flows-per-epoch", type=int, dest="flows_per_epoch",
+                     help="epoch chunk size for trace files without an epoch column")
+    sub.add_argument("--epochs", type=int, default=None,
+                     help="stop after N epochs even if the source continues")
+    sub.add_argument("--serial", action="store_true",
+                     help="disable the double-buffered pipeline (debugging)")
+    sub.add_argument("--rolling-window", type=int, dest="rolling_window", default=8,
+                     help="epochs in the rolling F1/ARE window")
+    sub.add_argument("--fail-epoch", type=int, dest="fail_epoch", default=None,
+                     help="inject a link failure at this epoch")
+    sub.add_argument("--recover-epoch", type=int, dest="recover_epoch", default=None,
+                     help="recover the failed link at this epoch")
+    sub.add_argument("--fail-loss", type=float, dest="fail_loss", default=0.5,
+                     help="loss rate of the failed link (1.0 = hard failure)")
+    sub.add_argument("--fail-host", type=int, dest="fail_host", default=0,
+                     help="the failed link is this host's uplink to its ToR")
+    sub.add_argument("--burst-epoch", type=int, dest="burst_epoch", default=None,
+                     help="inject a flow burst at this epoch")
+    sub.add_argument("--burst-flows", type=int, dest="burst_flows", default=500,
+                     help="extra flows per burst epoch")
+    sub.add_argument("--burst-duration", type=int, dest="burst_duration", default=1,
+                     help="how many epochs the burst lasts")
+    sub.add_argument("--jsonl", dest="jsonl_out", metavar="PATH",
+                     help="append one JSON record per epoch ('-' for stdout)")
+    sub.add_argument("--csv", dest="csv_out", metavar="PATH",
+                     help="append one CSV row per epoch ('-' for stdout)")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress the per-epoch console line")
+    sub.set_defaults(handler=cmd_stream)
 
     sub = subparsers.add_parser("fig4", parents=[common],
                                 help="loss-detection overhead vs. number of victim flows")

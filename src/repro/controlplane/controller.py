@@ -101,6 +101,7 @@ class CentralController:
         low_load: float = 0.60,
         distribution_iterations: int = 4,
         seed: int = 0,
+        history_limit: Optional[int] = None,
     ) -> None:
         self.resources = resources or SwitchResources()
         self.heavy_hitter_threshold = heavy_hitter_threshold
@@ -110,6 +111,9 @@ class CentralController:
         self.distribution_iterations = distribution_iterations
         self._rng = random.Random(seed)
         self._epoch_index = 0
+        #: ``None`` keeps every EpochReport (batch experiments); an integer
+        #: keeps only the most recent N, so a continuous run stays O(epoch).
+        self.history_limit = history_limit
         self.history: list[EpochReport] = []
 
     @property
@@ -161,4 +165,6 @@ class CentralController:
             report.entropy = network_entropy(views, iterations=self.distribution_iterations)
         self._epoch_index += 1
         self.history.append(report)
+        if self.history_limit is not None and len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
         return report

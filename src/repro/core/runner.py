@@ -67,6 +67,10 @@ class ChameleMon:
     prime: int = MERSENNE_PRIME_127
     compute_tasks: bool = False
     distribution_iterations: int = 2
+    #: ``None`` retains every EpochResult (batch experiments inspect the full
+    #: history); an integer keeps only the most recent N so that a continuous
+    #: run (repro.stream) holds O(epoch) state instead of O(run).
+    history_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.simulator: NetworkSimulator = build_testbed_simulator(
@@ -77,8 +81,10 @@ class ChameleMon:
             heavy_hitter_threshold=self.heavy_hitter_threshold,
             distribution_iterations=self.distribution_iterations,
             seed=self.seed,
+            history_limit=self.history_limit,
         )
         self.results: List[EpochResult] = []
+        self._epochs_run = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,7 +108,7 @@ class ChameleMon:
         keyed on the next timestamp value so that it never interferes with the
         epoch currently being monitored).
         """
-        if self.results:
+        if self._epochs_run:
             # Install the configuration staged by the previous epoch's decision.
             for switch in self.simulator.switches.values():
                 switch.begin_epoch()
@@ -119,6 +125,9 @@ class ChameleMon:
             switch.apply_config(report.decision.config)
         result = EpochResult(report=report, truth=truth)
         self.results.append(result)
+        if self.history_limit is not None and len(self.results) > self.history_limit:
+            del self.results[: len(self.results) - self.history_limit]
+        self._epochs_run += 1
         return result
 
     def run_epochs(self, traces: List[Trace]) -> List[EpochResult]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..traffic.flow import FlowRecord, Trace
+from ..traffic.generator import sample_binomial
 from .routing import EcmpRouter
 from .topology import FatTreeTopology, NodeId
 
@@ -108,8 +109,7 @@ def apply_faults(
                 FlowRecord(flow.flow_id, flow.size, flow.src_host, flow.dst_host)
             )
             continue
-        lost = sum(1 for _ in range(flow.size) if rng.random() < loss_rate)
-        lost = max(1, min(flow.size, lost))
+        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, loss_rate)))
         new_flows.append(
             FlowRecord(
                 flow_id=flow.flow_id,

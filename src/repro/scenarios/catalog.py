@@ -787,6 +787,173 @@ def _decode_state(simulator):
 
 
 # --------------------------------------------------------------------------- #
+# Streaming telemetry (repro.stream)
+# --------------------------------------------------------------------------- #
+def _stream_output(records, summary) -> Dict[str, Any]:
+    return {"rows": records, "extras": {"summary": summary.to_dict()}}
+
+
+@scenario(
+    "stream_timeline",
+    title="streaming engine over a live schedule of network states",
+    params=dict(
+        workload="DCTCP",
+        schedule=(
+            (400, 0.05),
+            (800, 0.10),
+            (1600, 0.20),
+            (800, 0.10),
+            (400, 0.05),
+        ),
+        epochs_per_stage=4,
+        loss_rate=0.05,
+        scale=0.05,
+        pipelined=True,
+        rolling_window=8,
+    ),
+    seed=50,
+    smoke=dict(schedule=((150, 0.05), (300, 0.15)), epochs_per_stage=2),
+    tags=("stream",),
+)
+def stream_timeline_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Figure 9's changing network state, driven through the streaming engine."""
+    from ..dataplane.config import SwitchResources
+    from ..stream import MemorySink, StreamingEngine, SyntheticSource
+
+    source = SyntheticSource.from_schedule(
+        tuple(tuple(stage) for stage in params["schedule"]),
+        epochs_per_stage=params["epochs_per_stage"],
+        loss_rate=params["loss_rate"],
+        workload=params["workload"],
+        seed=seed,
+    )
+    sink = MemorySink()
+    engine = StreamingEngine(
+        source,
+        sinks=[sink],
+        resources=SwitchResources.scaled(params["scale"]),
+        seed=seed,
+        pipelined=params["pipelined"],
+        rolling_window=params["rolling_window"],
+    )
+    summary = engine.run()
+    return _stream_output(sink.records, summary)
+
+
+@scenario(
+    "stream_failover",
+    title="streaming engine through a link failure and recovery",
+    params=dict(
+        workload="DCTCP",
+        flows=800,
+        epochs=12,
+        victim_ratio=0.05,
+        loss_rate=0.05,
+        fail_epoch=4,
+        recover_epoch=8,
+        fail_loss=0.5,
+        fail_host=0,
+        scale=0.05,
+        pipelined=True,
+    ),
+    seed=51,
+    smoke=dict(flows=200, epochs=5, fail_epoch=2, recover_epoch=4),
+    tags=("stream", "faults"),
+)
+def stream_failover_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A grey link failure appears mid-stream and recovers a few epochs later."""
+    from ..dataplane.config import SwitchResources
+    from ..network.topology import FatTreeTopology
+    from ..stream import (
+        LinkFailureEvent,
+        LinkRecoveryEvent,
+        MemorySink,
+        StreamingEngine,
+        SyntheticSource,
+    )
+
+    source = SyntheticSource.steady(
+        num_flows=params["flows"],
+        epochs=params["epochs"],
+        victim_ratio=params["victim_ratio"],
+        loss_rate=params["loss_rate"],
+        workload=params["workload"],
+        seed=seed,
+    )
+    topology = FatTreeTopology.testbed()
+    edge = topology.edge_switch_of_host(params["fail_host"])
+    host = topology.host(params["fail_host"])
+    events = [
+        LinkFailureEvent(
+            epoch=params["fail_epoch"],
+            endpoint_a=edge,
+            endpoint_b=host,
+            loss_rate=params["fail_loss"],
+        ),
+        LinkRecoveryEvent(
+            epoch=params["recover_epoch"], endpoint_a=edge, endpoint_b=host
+        ),
+    ]
+    sink = MemorySink()
+    engine = StreamingEngine(
+        source,
+        events=events,
+        sinks=[sink],
+        resources=SwitchResources.scaled(params["scale"]),
+        seed=seed,
+        pipelined=params["pipelined"],
+    )
+    summary = engine.run()
+    return _stream_output(sink.records, summary)
+
+
+@scenario(
+    "stream_multitenant",
+    title="several tenant streams interleaved over one monitored fabric",
+    params=dict(
+        tenants=(
+            ("DCTCP", 400, 0.05),
+            ("CACHE", 300, 0.10),
+            ("HADOOP", 200, 0.15),
+        ),
+        epochs=8,
+        loss_rate=0.05,
+        scale=0.05,
+        pipelined=True,
+    ),
+    seed=52,
+    smoke=dict(tenants=(("DCTCP", 120, 0.05), ("CACHE", 80, 0.15)), epochs=3),
+    tags=("stream",),
+)
+def stream_multitenant_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Multi-tenant merge: per-tenant phase schedules share the fabric."""
+    from ..dataplane.config import SwitchResources
+    from ..stream import MemorySink, MergeSource, StreamingEngine, SyntheticSource
+
+    tenants = [
+        SyntheticSource.steady(
+            num_flows=int(num_flows),
+            epochs=params["epochs"],
+            victim_ratio=float(victim_ratio),
+            loss_rate=params["loss_rate"],
+            workload=str(workload),
+            seed=seed + 1000 * index,
+        )
+        for index, (workload, num_flows, victim_ratio) in enumerate(params["tenants"])
+    ]
+    sink = MemorySink()
+    engine = StreamingEngine(
+        MergeSource(tenants),
+        sinks=[sink],
+        resources=SwitchResources.scaled(params["scale"]),
+        seed=seed,
+        pipelined=params["pipelined"],
+    )
+    summary = engine.run()
+    return _stream_output(sink.records, summary)
+
+
+# --------------------------------------------------------------------------- #
 # Full-system demo
 # --------------------------------------------------------------------------- #
 @scenario(

@@ -53,13 +53,19 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def rows_to_csv(rows: List[Dict[str, Any]], path: Optional[str] = None) -> str:
-    """Render rows as CSV text; the column set is the union of row keys."""
+def row_columns(rows: List[Dict[str, Any]]) -> List[str]:
+    """CSV column set of a row list: the union of row keys, in first-seen order."""
     columns: List[str] = []
     for row in rows:
         for key in row:
             if key not in columns:
                 columns.append(key)
+    return columns
+
+
+def rows_to_csv(rows: List[Dict[str, Any]], path: Optional[str] = None) -> str:
+    """Render rows as CSV text; the column set is the union of row keys."""
+    columns = row_columns(rows)
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
     writer.writeheader()

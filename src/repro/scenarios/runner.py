@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Union
 
 from .registry import get_scenario
 from .results import RunResult, SweepResult, normalize_output
@@ -60,24 +60,38 @@ class SweepRunner:
         scenario: Union[str, Scenario],
         overrides: Optional[Mapping[str, Any]] = None,
         seed: Optional[int] = None,
+        point_callback: Optional[Callable[[RunResult], None]] = None,
     ) -> SweepResult:
-        """Run every sweep point and collect the results in sweep order."""
+        """Run every sweep point and collect the results in sweep order.
+
+        ``point_callback`` is invoked in the caller's process, in sweep order,
+        as each point's result becomes available — serial runs call it right
+        after each point executes, parallel runs as each future (in submission
+        order) completes.  The CLI uses it to stream rows to stdout while a
+        long sweep is still running.
+        """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         points = spec.sweep_points(overrides)
         seeds = [spec.point_seed(seed, index) for index in range(len(points))]
         start = time.perf_counter()
+        results = []
         if self.jobs == 1 or len(points) == 1:
-            results = [
-                _execute(spec.name, spec.func, params, point_seed)
-                for params, point_seed in zip(points, seeds)
-            ]
+            for params, point_seed in zip(points, seeds):
+                result = _execute(spec.name, spec.func, params, point_seed)
+                if point_callback is not None:
+                    point_callback(result)
+                results.append(result)
         else:
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(points))) as pool:
                 futures = [
                     pool.submit(_execute, spec.name, spec.func, params, point_seed)
                     for params, point_seed in zip(points, seeds)
                 ]
-                results = [future.result() for future in futures]
+                for future in futures:
+                    result = future.result()
+                    if point_callback is not None:
+                        point_callback(result)
+                    results.append(result)
         wall_seconds = time.perf_counter() - start
         return SweepResult(
             scenario=spec.name,

@@ -86,19 +86,20 @@ def estimate_flow_size_distribution(
         p_no_collision = np.exp(-lam) if lam < 50 else 0.0
         new_estimate = np.zeros_like(estimate)
         probabilities = estimate / estimate.sum()
+        collision_scaled = (1 - p_no_collision) * probabilities
         for value in observed_sizes:
             slots = observed[value]
             # weight of "pure" interpretation
             weights = np.zeros(max_size + 1, dtype=float)
             weights[value] = p_no_collision * probabilities[value] if value <= max_size else 0.0
-            # weight of "one collision" interpretations: sizes s and v - s
-            for s in range(1, value):
-                if s > max_size or (value - s) > max_size:
-                    continue
-                w = (1 - p_no_collision) * probabilities[s] * probabilities[value - s]
-                if w > 0:
-                    weights[s] += w / 2.0
-                    weights[value - s] += w / 2.0
+            # weight of "one collision" interpretations: sizes s and v - s.
+            # Each split s contributes w(s)/2 at s and at value - s, so index
+            # s accumulates w(s)/2 + w(value-s)/2 — computed here as the
+            # mirrored half-weight sum, which is bit-identical to the per-split
+            # loop (halving is exact, addition is commutative, and the
+            # factoring preserves the ((1-p)·prob[s])·prob[value-s] order).
+            half = 0.5 * (collision_scaled[1:value] * probabilities[value - 1 : 0 : -1])
+            weights[1:value] += half + half[::-1]
             weight_sum = weights.sum()
             if weight_sum <= 0:
                 new_estimate[min(value, max_size)] += slots

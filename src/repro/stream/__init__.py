@@ -1,0 +1,57 @@
+"""Streaming telemetry: continuous bounded-memory epoch pipeline.
+
+The :mod:`repro.stream` subsystem turns the batch reproduction into an
+always-on measurement loop: pluggable :mod:`~repro.stream.sources` yield
+epoch-sized traffic chunks, the :class:`~repro.stream.engine.StreamingEngine`
+drives the simulator and controller with O(epoch) memory (double-buffering
+generation against analysis), :mod:`~repro.stream.events` applies live
+network-state changes between epochs, and :mod:`~repro.stream.sinks` export
+one report per epoch as it happens.
+"""
+
+from .engine import StreamingEngine, StreamSummary, comparable
+from .events import (
+    EventSchedule,
+    FlowBurstEvent,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    LossRateShiftEvent,
+    NetworkConditions,
+    StreamEvent,
+)
+from .sinks import ConsoleSink, CsvSink, EpochSink, JsonlSink, MemorySink, MultiSink
+from .sources import (
+    LimitedSource,
+    MergeSource,
+    Phase,
+    SyntheticSource,
+    TraceFileSource,
+    TraceSource,
+    write_trace_file,
+)
+
+__all__ = [
+    "StreamingEngine",
+    "StreamSummary",
+    "comparable",
+    "EventSchedule",
+    "StreamEvent",
+    "LinkFailureEvent",
+    "LinkRecoveryEvent",
+    "LossRateShiftEvent",
+    "FlowBurstEvent",
+    "NetworkConditions",
+    "EpochSink",
+    "JsonlSink",
+    "CsvSink",
+    "MemorySink",
+    "ConsoleSink",
+    "MultiSink",
+    "TraceSource",
+    "SyntheticSource",
+    "Phase",
+    "TraceFileSource",
+    "MergeSource",
+    "LimitedSource",
+    "write_trace_file",
+]

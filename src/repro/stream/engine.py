@@ -1,0 +1,292 @@
+"""The streaming engine: a continuous, bounded-memory measurement loop.
+
+:class:`StreamingEngine` drives the full ChameleMon deployment — fat-tree
+simulator, edge-switch data planes, central controller — epoch after epoch
+against a :class:`~repro.stream.sources.TraceSource`, with live network-state
+changes applied between epochs by an
+:class:`~repro.stream.events.EventSchedule` and one flat report per epoch
+pushed to :class:`~repro.stream.sinks.EpochSink` objects.
+
+Two properties distinguish it from the batch pipeline
+(:class:`~repro.core.runner.ChameleMon` over a materialized trace list):
+
+* **O(epoch) memory.**  At any instant at most two epochs of traffic are
+  resident — the epoch being analysed and the epoch being generated — and the
+  controller/facade histories are capped, so a run's footprint is independent
+  of its length.  The engine tracks the high-water mark
+  (:attr:`StreamSummary.peak_resident_flows`) and tests assert the bound.
+* **Double buffering.**  With ``pipelined=True`` (the default) epoch ``k+1``
+  is produced on a ``concurrent.futures`` worker while epoch ``k`` is being
+  analysed.  Generation state (source iterator, event schedule, per-epoch
+  seeds) is strictly ordered on the single worker and shares nothing mutable
+  with analysis, so the pipelined run is bit-identical to ``pipelined=False``
+  (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence, Union
+
+from ..core.runner import ChameleMon, EpochResult
+from ..dataplane.config import SwitchResources
+from ..traffic.flow import Trace
+from .events import EventSchedule, NetworkConditions, StreamEvent
+from .sinks import EpochSink
+from .sources import TraceSource
+
+#: Engine state kept per epoch: the trace under analysis plus the one being
+#: generated.  Used both for the history caps and the resident-flow assertion.
+RESIDENT_EPOCHS = 2
+
+
+class _ResidentTracker:
+    """Tracks how many flows the engine holds resident, and the peak."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = 0
+        self.peak = 0
+
+    def add(self, flows: int) -> None:
+        with self._lock:
+            self._current += flows
+            if self._current > self.peak:
+                self.peak = self._current
+
+    def remove(self, flows: int) -> None:
+        with self._lock:
+            self._current -= flows
+
+
+@dataclass
+class StreamSummary:
+    """Aggregate outcome of one engine run."""
+
+    epochs: int = 0
+    flows: int = 0
+    packets: int = 0
+    lost_packets: int = 0
+    wall_seconds: float = 0.0
+    peak_resident_flows: int = 0
+    mean_f1: float = 0.0
+    mean_are: float = 0.0
+    final_level: str = ""
+
+    @property
+    def epochs_per_second(self) -> float:
+        return self.epochs / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.packets / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epochs": self.epochs,
+            "flows": self.flows,
+            "packets": self.packets,
+            "lost_packets": self.lost_packets,
+            "wall_seconds": self.wall_seconds,
+            "epochs_per_second": self.epochs_per_second,
+            "packets_per_second": self.packets_per_second,
+            "peak_resident_flows": self.peak_resident_flows,
+            "mean_f1": self.mean_f1,
+            "mean_are": self.mean_are,
+            "final_level": self.final_level,
+        }
+
+
+#: Record fields that are timing, not results: excluded when comparing a
+#: pipelined run against a serial one for bit-identity.
+TIMING_FIELDS = ("wall_ms",)
+
+
+def comparable(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record with its timing fields stripped (for identity comparisons)."""
+    return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
+
+
+class StreamingEngine:
+    """Continuous epoch pipeline: source -> events -> simulate -> analyse -> sinks."""
+
+    def __init__(
+        self,
+        source: TraceSource,
+        events: Iterable[StreamEvent] = (),
+        sinks: Sequence[EpochSink] = (),
+        resources: Optional[SwitchResources] = None,
+        seed: int = 0,
+        pipelined: Union[bool, str] = "auto",
+        rolling_window: int = 8,
+        compute_tasks: bool = False,
+        heavy_hitter_threshold: int = 500,
+    ) -> None:
+        if rolling_window < 1:
+            raise ValueError("rolling_window must be >= 1")
+        if pipelined not in (True, False, "auto"):
+            raise ValueError("pipelined must be True, False, or 'auto'")
+        self.source = source
+        self.schedule = events if isinstance(events, EventSchedule) else EventSchedule(events)
+        self.sinks = list(sinks)
+        self.seed = seed
+        # "auto" double-buffers only when a second core exists: generation
+        # can never overlap analysis on a single CPU, so the worker thread
+        # would be pure overhead there.  Results are bit-identical either way.
+        if pipelined == "auto":
+            pipelined = (os.cpu_count() or 1) > 1
+        self.pipelined = pipelined
+        self.rolling_window = rolling_window
+        self.system = ChameleMon(
+            resources=resources or SwitchResources(),
+            seed=seed,
+            compute_tasks=compute_tasks,
+            heavy_hitter_threshold=heavy_hitter_threshold,
+            history_limit=RESIDENT_EPOCHS,
+        )
+        self.conditions = NetworkConditions(self.system.simulator.topology, seed=seed)
+        self._resident = _ResidentTracker()
+
+    # ------------------------------------------------------------------ #
+    # production (runs on the worker thread when pipelined)
+    # ------------------------------------------------------------------ #
+    def _produce(self, iterator: Iterator[Trace], epoch: int) -> Optional[Trace]:
+        """Apply epoch-boundary events, then produce the epoch's trace.
+
+        Returns ``None`` when the source is exhausted.  Calls are strictly
+        ordered (inline when serial, FIFO on the single worker when
+        pipelined), so the generation-side state — source iterator, event
+        mutations, per-epoch seeds — evolves identically in both modes.
+        """
+        self.conditions.apply_events(self.schedule.at(epoch))
+        try:
+            trace = next(iterator)
+        except StopIteration:
+            return None
+        trace = self.conditions.transform(trace, epoch)
+        self._resident.add(len(trace))
+        return trace
+
+    def _submit(
+        self, pool: Optional[ThreadPoolExecutor], iterator: Iterator[Trace], epoch: int
+    ) -> "Future[Optional[Trace]]":
+        if pool is not None:
+            return pool.submit(self._produce, iterator, epoch)
+        future: "Future[Optional[Trace]]" = Future()
+        future.set_result(self._produce(iterator, epoch))
+        return future
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run(self, max_epochs: Optional[int] = None) -> StreamSummary:
+        """Drive the stream until the source ends (or ``max_epochs``)."""
+        pool = ThreadPoolExecutor(max_workers=1) if self.pipelined else None
+        try:
+            return self._run_loop(pool, max_epochs)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            for sink in self.sinks:
+                sink.close()
+
+    def _run_loop(
+        self, pool: Optional[ThreadPoolExecutor], max_epochs: Optional[int]
+    ) -> StreamSummary:
+        summary = StreamSummary()
+        f1_window: deque = deque(maxlen=self.rolling_window)
+        are_window: deque = deque(maxlen=self.rolling_window)
+        f1_total = 0.0
+        are_total = 0.0
+        iterator = iter(self.source)
+        start = time.perf_counter()
+        epoch = 0
+        pending: Optional["Future[Optional[Trace]]"] = None
+        if max_epochs is None or max_epochs > 0:
+            pending = self._submit(pool, iterator, epoch)
+        while pending is not None:
+            trace = pending.result()
+            if trace is None:
+                break
+            # Double buffering: epoch k+1 is generated while k is analysed —
+            # unless max_epochs says it would only be thrown away.
+            pending = (
+                self._submit(pool, iterator, epoch + 1)
+                if max_epochs is None or epoch + 1 < max_epochs
+                else None
+            )
+            epoch_start = time.perf_counter()
+            result = self.system.run_epoch(trace)
+            wall_ms = (time.perf_counter() - epoch_start) * 1000.0
+            num_flows = len(trace)
+            packets = trace.num_packets()
+            self._resident.remove(num_flows)
+
+            accuracy = result.loss_accuracy()
+            f1_window.append(accuracy["f1"])
+            are_window.append(accuracy["are"])
+            f1_total += accuracy["f1"]
+            are_total += accuracy["are"]
+            record = self._record(
+                epoch, result, num_flows, packets, accuracy, f1_window, are_window, wall_ms
+            )
+            for sink in self.sinks:
+                sink.write(record)
+
+            summary.epochs += 1
+            summary.flows += num_flows
+            summary.packets += packets
+            summary.lost_packets += result.truth.total_lost_packets()
+            summary.final_level = result.level.value
+            del trace, result
+            epoch += 1
+        summary.wall_seconds = time.perf_counter() - start
+        summary.peak_resident_flows = self._resident.peak
+        if summary.epochs:
+            summary.mean_f1 = f1_total / summary.epochs
+            summary.mean_are = are_total / summary.epochs
+        return summary
+
+    # ------------------------------------------------------------------ #
+    def _record(
+        self,
+        epoch: int,
+        result: EpochResult,
+        num_flows: int,
+        packets: int,
+        accuracy: Dict[str, float],
+        f1_window: deque,
+        are_window: deque,
+        wall_ms: float,
+    ) -> Dict[str, Any]:
+        division = result.memory_division()
+        decoded = result.decoded_flow_counts()
+        return {
+            "epoch": epoch,
+            "num_flows": num_flows,
+            "num_victims": result.truth.num_victims(),
+            "packets": packets,
+            "lost_packets": result.truth.total_lost_packets(),
+            "level": result.level.value,
+            "mem_hh": division["hh"],
+            "mem_hl": division["hl"],
+            "mem_ll": division["ll"],
+            "decoded_hh": decoded["hh"],
+            "decoded_hl": decoded["hl"],
+            "decoded_ll": decoded["ll"],
+            "threshold_high": result.config.threshold_high,
+            "threshold_low": result.config.threshold_low,
+            "sample_rate": result.config.sample_rate,
+            "loss_precision": accuracy["precision"],
+            "loss_recall": accuracy["recall"],
+            "loss_f1": accuracy["f1"],
+            "loss_are": accuracy["are"],
+            "rolling_f1": sum(f1_window) / len(f1_window),
+            "rolling_are": sum(are_window) / len(are_window),
+            "wall_ms": wall_ms,
+        }

@@ -1,0 +1,224 @@
+"""Declarative event schedules: live network-state changes between epochs.
+
+An :class:`EventSchedule` lists events pinned to epoch indices; the
+:class:`~repro.stream.engine.StreamingEngine` applies each epoch's events to
+its :class:`NetworkConditions` *before* that epoch's traffic is produced, so
+a change takes effect exactly at its epoch boundary — the streaming analogue
+of the paper's "network state changes" that attention shifting reacts to.
+
+Three families of events cover the streaming scenarios:
+
+* :class:`LinkFailureEvent` / :class:`LinkRecoveryEvent` — install or clear a
+  :class:`~repro.network.faults.LinkFailure` on the fabric.  While installed,
+  every flow whose ECMP path crosses the link accrues the fault's loss rate
+  *on top of* any source-assigned (ECN-style) victim losses.
+* :class:`LossRateShiftEvent` — override the loss rate of the source's victim
+  flows (a loss-phase shift); ``None`` restores the source's own rates.
+* :class:`FlowBurstEvent` — inject extra flows for a bounded number of epochs
+  (a tenant flash crowd), generated deterministically per epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..network.faults import LinkFailure
+from ..network.routing import EcmpRouter
+from ..network.topology import FatTreeTopology, NodeId
+from ..traffic.flow import FlowRecord, Trace
+from ..traffic.generator import generate_workload, sample_binomial
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """Base event: applied just before ``epoch``'s traffic is produced."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class LinkFailureEvent(StreamEvent):
+    """Install a (possibly grey) link failure from this epoch onward."""
+
+    endpoint_a: NodeId = ("edge", 0)
+    endpoint_b: NodeId = ("host", 0)
+    loss_rate: float = 1.0
+
+    def fault(self) -> LinkFailure:
+        return LinkFailure(self.endpoint_a, self.endpoint_b, self.loss_rate)
+
+
+@dataclass(frozen=True)
+class LinkRecoveryEvent(StreamEvent):
+    """Clear every failure previously installed on the given link."""
+
+    endpoint_a: NodeId = ("edge", 0)
+    endpoint_b: NodeId = ("host", 0)
+
+
+@dataclass(frozen=True)
+class LossRateShiftEvent(StreamEvent):
+    """Re-draw victim losses at a new rate from this epoch on (None: restore)."""
+
+    loss_rate: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FlowBurstEvent(StreamEvent):
+    """Add ``extra_flows`` synthetic flows for ``duration`` epochs."""
+
+    extra_flows: int = 0
+    duration: int = 1
+    workload: str = "DCTCP"
+    victim_ratio: float = 0.0
+    loss_rate: float = 0.05
+
+
+class EventSchedule:
+    """An immutable schedule of events, looked up by epoch index."""
+
+    def __init__(self, events: Iterable[StreamEvent] = ()) -> None:
+        self._by_epoch: Dict[int, List[StreamEvent]] = {}
+        for event in events:
+            if event.epoch < 0:
+                raise ValueError(f"event epoch must be >= 0, got {event.epoch}")
+            self._by_epoch.setdefault(event.epoch, []).append(event)
+
+    def __len__(self) -> int:
+        return sum(len(events) for events in self._by_epoch.values())
+
+    def at(self, epoch: int) -> Tuple[StreamEvent, ...]:
+        """Events that fire at the boundary into ``epoch`` (stable order)."""
+        return tuple(self._by_epoch.get(epoch, ()))
+
+    def last_epoch(self) -> int:
+        return max(self._by_epoch, default=-1)
+
+
+class NetworkConditions:
+    """The mutable network state an event schedule manipulates.
+
+    Owned by the engine's *generation* side: events mutate it, and
+    :meth:`transform` rewrites each freshly produced trace accordingly.  It
+    keeps its own :class:`EcmpRouter` (seeded like the simulator's, hence
+    identical paths) so the generation pipeline never shares mutable state
+    with the analysis pipeline — that independence is what makes the
+    double-buffered engine bit-identical to the serial one.
+    """
+
+    def __init__(self, topology: FatTreeTopology, seed: int = 0) -> None:
+        self.topology = topology
+        self.router = EcmpRouter(topology, seed=seed)
+        self.seed = seed
+        self.active_faults: List[LinkFailure] = []
+        self.loss_rate_override: Optional[float] = None
+        self._bursts: List[List] = []  # [remaining_epochs, FlowBurstEvent]
+
+    # ------------------------------------------------------------------ #
+    def apply_events(self, events: Sequence[StreamEvent]) -> None:
+        for event in events:
+            if isinstance(event, LinkFailureEvent):
+                self.active_faults.append(event.fault())
+            elif isinstance(event, LinkRecoveryEvent):
+                link = {event.endpoint_a, event.endpoint_b}
+                self.active_faults = [
+                    fault
+                    for fault in self.active_faults
+                    if {fault.endpoint_a, fault.endpoint_b} != link
+                ]
+            elif isinstance(event, LossRateShiftEvent):
+                self.loss_rate_override = event.loss_rate
+            elif isinstance(event, FlowBurstEvent):
+                if event.extra_flows > 0 and event.duration > 0:
+                    self._bursts.append([event.duration, event])
+            else:
+                raise TypeError(f"unknown stream event {type(event).__name__}")
+
+    # ------------------------------------------------------------------ #
+    def transform(self, trace: Trace, epoch: int) -> Trace:
+        """Apply bursts, loss-phase shifts, and active faults to one epoch."""
+        if (
+            not self._bursts
+            and self.loss_rate_override is None
+            and not self.active_faults
+        ):
+            return trace
+        flows = list(trace.flows)
+        rng = random.Random((self.seed << 20) ^ (epoch * 2 + 1))
+        flows.extend(self._burst_flows(epoch))
+        if self.loss_rate_override is not None:
+            flows = [self._shift_loss(flow, rng) for flow in flows]
+        if self.active_faults:
+            flows = [self._overlay_faults(flow, rng) for flow in flows]
+        return Trace(flows=flows)
+
+    def _burst_flows(self, epoch: int) -> List[FlowRecord]:
+        extra: List[FlowRecord] = []
+        for entry in self._bursts:
+            remaining, event = entry
+            if remaining <= 0:
+                continue
+            burst = generate_workload(
+                event.workload,
+                num_flows=event.extra_flows,
+                victim_ratio=event.victim_ratio,
+                loss_rate=event.loss_rate,
+                num_hosts=self.topology.num_hosts,
+                seed=(self.seed << 16) ^ (event.epoch << 8) ^ epoch,
+            )
+            extra.extend(burst.flows)
+            entry[0] = remaining - 1
+        self._bursts = [entry for entry in self._bursts if entry[0] > 0]
+        return extra
+
+    def _shift_loss(self, flow: FlowRecord, rng: random.Random) -> FlowRecord:
+        if not flow.is_victim:
+            return flow
+        rate = self.loss_rate_override
+        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, rate)))
+        return FlowRecord(
+            flow_id=flow.flow_id,
+            size=flow.size,
+            src_host=flow.src_host,
+            dst_host=flow.dst_host,
+            is_victim=True,
+            loss_rate=rate,
+            lost_packets=lost,
+        )
+
+    def _overlay_faults(self, flow: FlowRecord, rng: random.Random) -> FlowRecord:
+        """Add fault-induced losses *on top of* source-assigned victim losses.
+
+        Unlike :func:`repro.network.faults.apply_faults` (which rewrites a
+        batch trace's victim set from scratch), the streaming overlay keeps
+        the source's ECN-style victims and compounds every crossing fault's
+        loss rate into the flow's survival probability.
+        """
+        src = flow.src_host if flow.src_host is not None else 0
+        dst = (
+            flow.dst_host
+            if flow.dst_host is not None
+            else (src + 1) % self.topology.num_hosts
+        )
+        path = self.router.path_for_flow(flow.flow_id, src, dst)
+        survival = 1.0 - flow.loss_rate if flow.is_victim else 1.0
+        crossed = False
+        for fault in self.active_faults:
+            if fault.affects(path):
+                survival *= 1.0 - fault.loss_rate
+                crossed = True
+        if not crossed:
+            return flow
+        loss_rate = 1.0 - survival
+        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, loss_rate)))
+        return FlowRecord(
+            flow_id=flow.flow_id,
+            size=flow.size,
+            src_host=flow.src_host,
+            dst_host=flow.dst_host,
+            is_victim=True,
+            loss_rate=loss_rate,
+            lost_packets=lost,
+        )

@@ -1,0 +1,114 @@
+"""Per-epoch report sinks: stream results out as they are produced.
+
+A sink receives one flat record dict per epoch (see
+:meth:`repro.stream.engine.StreamingEngine` for the fields) and must never
+buffer the run: file sinks write and flush each record immediately, so a
+long-lived stream's output is tail-able and the engine's memory stays
+O(epoch).  :class:`MemorySink` is the deliberate exception, used by tests,
+scenarios, and examples that want the records in process.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+
+class EpochSink:
+    """Base sink: one :meth:`write` per epoch, then one :meth:`close`."""
+
+    def write(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; safe to call more than once."""
+
+
+def _open_stream(path: str) -> tuple:
+    """``(handle, owns_handle)`` for a path, with ``-`` meaning stdout."""
+    if path == "-":
+        return sys.stdout, False
+    return open(path, "w", newline=""), True
+
+
+class JsonlSink(EpochSink):
+    """One JSON object per line per epoch, flushed as written."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle, self._owns = _open_stream(path)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+
+
+class CsvSink(EpochSink):
+    """CSV rows per epoch; the header comes from the first record's keys."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle, self._owns = _open_stream(path)
+        self._writer: Optional[csv.DictWriter] = None
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._writer is None:
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=list(record), restval="", extrasaction="ignore"
+            )
+            self._writer.writeheader()
+        self._writer.writerow(record)
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+
+
+class MemorySink(EpochSink):
+    """Keep every record in memory (tests, scenarios, and examples only)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class ConsoleSink(EpochSink):
+    """One compact human-readable line per epoch, flushed as written."""
+
+    def __init__(self, handle: Optional[IO[str]] = None) -> None:
+        self._handle = handle or sys.stdout
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = (
+            f"epoch {record['epoch']:>4}  {record['level']:<8} "
+            f"flows {record['num_flows']:>6}  victims {record['num_victims']:>5}  "
+            f"division {record['mem_hh']:.2f}/{record['mem_hl']:.2f}/{record['mem_ll']:.2f}  "
+            f"f1 {record['loss_f1']:.2f} (avg {record['rolling_f1']:.2f})  "
+            f"are {record['loss_are']:.3f}"
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+
+class MultiSink(EpochSink):
+    """Fan one record out to several sinks."""
+
+    def __init__(self, sinks: Sequence[EpochSink]) -> None:
+        self.sinks = list(sinks)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,358 @@
+"""Pluggable trace sources: epoch-sized chunks without materializing a run.
+
+A *source* is a re-iterable of :class:`~repro.traffic.flow.Trace` objects —
+one per epoch.  Iterating never requires more than the epoch currently being
+produced, so a :class:`~repro.stream.engine.StreamingEngine` fed by any source
+runs in O(epoch) memory no matter how long the stream is.
+
+Three families of sources cover the streaming scenarios:
+
+* :class:`SyntheticSource` — phase-scheduled synthetic workloads whose flow
+  count, victim ratio, loss rate, and size distribution change mid-stream
+  (the live analogue of the Figure 9 schedule);
+* :class:`TraceFileSource` — JSONL/CSV trace-file replay, read line by line;
+* :class:`MergeSource` — several sources interleaved over one fabric
+  (multi-tenant traffic sharing the monitored network).
+
+Every source is **re-iterable**: each ``iter()`` starts a fresh, identical
+stream, so a batch baseline can replay exactly the workload a streamed run
+consumed (``benchmarks/test_stream_throughput.py`` relies on this).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..traffic.flow import FlowRecord, Trace
+from ..traffic.generator import generate_workload
+
+
+class TraceSource:
+    """Base class: a re-iterable stream of per-epoch traces."""
+
+    def epochs(self) -> Iterator[Trace]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Trace]:
+        return self.epochs()
+
+    def __len__(self) -> int:
+        """Number of epochs, when known in advance (phase schedules)."""
+        raise TypeError(f"{type(self).__name__} has no predetermined length")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stage of a phase-scheduled synthetic stream."""
+
+    epochs: int
+    num_flows: int
+    victim_ratio: float = 0.0
+    loss_rate: float = 0.05
+    workload: str = "DCTCP"
+    victim_selection: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("a phase must last at least one epoch")
+        if self.num_flows <= 0:
+            raise ValueError("a phase needs a positive number of flows")
+
+
+@dataclass
+class SyntheticSource(TraceSource):
+    """Phase-scheduled synthetic workload generator.
+
+    Each epoch's trace is generated lazily from the phase active at that
+    epoch, with a deterministic per-epoch seed (``seed + 101 * epoch``, the
+    same derivation the Figure 9 timeline uses) — so two iterations, or a
+    serial and a pipelined engine run, see identical traffic.
+    """
+
+    phases: Sequence[Phase]
+    num_hosts: int = 8
+    seed: int = 0
+    use_five_tuple: bool = True
+
+    def __post_init__(self) -> None:
+        self.phases = tuple(self.phases)
+        if not self.phases:
+            raise ValueError("SyntheticSource needs at least one phase")
+
+    @classmethod
+    def steady(
+        cls,
+        num_flows: int,
+        epochs: int,
+        victim_ratio: float = 0.0,
+        loss_rate: float = 0.05,
+        workload: str = "DCTCP",
+        num_hosts: int = 8,
+        seed: int = 0,
+    ) -> "SyntheticSource":
+        """A single-phase stream: the same workload for ``epochs`` epochs."""
+        phase = Phase(
+            epochs=epochs,
+            num_flows=num_flows,
+            victim_ratio=victim_ratio,
+            loss_rate=loss_rate,
+            workload=workload,
+        )
+        return cls(phases=(phase,), num_hosts=num_hosts, seed=seed)
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: Sequence[Tuple[int, float]],
+        epochs_per_stage: int,
+        loss_rate: float = 0.05,
+        workload: str = "DCTCP",
+        num_hosts: int = 8,
+        seed: int = 0,
+    ) -> "SyntheticSource":
+        """Build phases from a Figure 9-style ``(num_flows, victim_ratio)`` schedule."""
+        phases = tuple(
+            Phase(
+                epochs=epochs_per_stage,
+                num_flows=num_flows,
+                victim_ratio=victim_ratio,
+                loss_rate=loss_rate,
+                workload=workload,
+            )
+            for num_flows, victim_ratio in schedule
+        )
+        return cls(phases=phases, num_hosts=num_hosts, seed=seed)
+
+    def __len__(self) -> int:
+        return sum(phase.epochs for phase in self.phases)
+
+    def phase_at(self, epoch: int) -> Phase:
+        """The phase governing a given epoch index."""
+        remaining = epoch
+        for phase in self.phases:
+            if remaining < phase.epochs:
+                return phase
+            remaining -= phase.epochs
+        raise IndexError(f"epoch {epoch} is beyond the schedule ({len(self)} epochs)")
+
+    def epochs(self) -> Iterator[Trace]:
+        epoch = 0
+        for phase in self.phases:
+            for _ in range(phase.epochs):
+                yield generate_workload(
+                    phase.workload,
+                    num_flows=phase.num_flows,
+                    victim_ratio=phase.victim_ratio,
+                    loss_rate=phase.loss_rate,
+                    num_hosts=self.num_hosts,
+                    victim_selection=phase.victim_selection,
+                    seed=self.seed + 101 * epoch,
+                    use_five_tuple=self.use_five_tuple,
+                )
+                epoch += 1
+
+
+# --------------------------------------------------------------------------- #
+# trace-file replay
+# --------------------------------------------------------------------------- #
+#: Column order of the on-disk flow records (JSONL objects use the same keys).
+TRACE_FIELDS = (
+    "epoch",
+    "flow_id",
+    "size",
+    "src_host",
+    "dst_host",
+    "is_victim",
+    "loss_rate",
+    "lost_packets",
+)
+
+
+def _record_to_row(epoch: int, flow: FlowRecord) -> dict:
+    return {
+        "epoch": epoch,
+        "flow_id": flow.flow_id,
+        "size": flow.size,
+        "src_host": flow.src_host,
+        "dst_host": flow.dst_host,
+        "is_victim": flow.is_victim,
+        "loss_rate": flow.loss_rate,
+        "lost_packets": flow.lost_packets,
+    }
+
+
+def _row_to_record(row: dict) -> FlowRecord:
+    def _opt_int(value) -> Optional[int]:
+        if value is None or value == "":
+            return None
+        return int(value)
+
+    is_victim = row.get("is_victim", False)
+    if isinstance(is_victim, str):
+        is_victim = is_victim.strip().lower() in ("1", "true", "yes")
+    return FlowRecord(
+        flow_id=int(row["flow_id"]),
+        size=int(row["size"]),
+        src_host=_opt_int(row.get("src_host")),
+        dst_host=_opt_int(row.get("dst_host")),
+        is_victim=bool(is_victim),
+        loss_rate=float(row.get("loss_rate") or 0.0),
+        lost_packets=int(row.get("lost_packets") or 0),
+    )
+
+
+def write_trace_file(path: str, epochs: Iterable[Trace]) -> int:
+    """Serialize per-epoch traces to a JSONL or CSV file; returns epochs written.
+
+    The format is inferred from the extension (``.jsonl`` / ``.csv``); one row
+    per flow, tagged with its epoch index, so the file replays losslessly
+    through :class:`TraceFileSource`.
+    """
+    fmt = _infer_format(path)
+    count = 0
+    with open(path, "w", newline="") as handle:
+        if fmt == "csv":
+            writer = csv.DictWriter(handle, fieldnames=list(TRACE_FIELDS))
+            writer.writeheader()
+            for epoch, trace in enumerate(epochs):
+                for flow in trace.flows:
+                    writer.writerow(_record_to_row(epoch, flow))
+                count += 1
+        else:
+            for epoch, trace in enumerate(epochs):
+                for flow in trace.flows:
+                    handle.write(json.dumps(_record_to_row(epoch, flow)) + "\n")
+                count += 1
+    return count
+
+
+def _infer_format(path: str) -> str:
+    extension = os.path.splitext(path)[1].lower()
+    if extension in (".jsonl", ".ndjson", ".json"):
+        return "jsonl"
+    if extension == ".csv":
+        return "csv"
+    raise ValueError(f"cannot infer trace format from '{path}' (use .jsonl or .csv)")
+
+
+@dataclass
+class TraceFileSource(TraceSource):
+    """Replay a JSONL/CSV trace file one epoch at a time.
+
+    Rows are grouped into epochs by their ``epoch`` column (consecutive runs
+    of equal values); files without that column are chunked every
+    ``flows_per_epoch`` rows.  The file is read line by line — only the epoch
+    currently being assembled is ever resident.
+    """
+
+    path: str
+    format: Optional[str] = None
+    flows_per_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.format = self.format or _infer_format(self.path)
+        if self.format not in ("jsonl", "csv"):
+            raise ValueError(f"unsupported trace format '{self.format}'")
+
+    def _rows(self) -> Iterator[dict]:
+        if self.format == "csv":
+            with open(self.path, newline="") as handle:
+                yield from csv.DictReader(handle)
+        else:
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+
+    def epochs(self) -> Iterator[Trace]:
+        flows: List[FlowRecord] = []
+        current_epoch: Optional[int] = None
+        for row in self._rows():
+            marker = row.get("epoch")
+            marker = int(marker) if marker not in (None, "") else None
+            if marker is not None and marker != current_epoch:
+                if flows:
+                    yield Trace(flows=flows)
+                    flows = []
+                current_epoch = marker
+            flows.append(_row_to_record(row))
+            if (
+                marker is None
+                and self.flows_per_epoch
+                and len(flows) >= self.flows_per_epoch
+            ):
+                yield Trace(flows=flows)
+                flows = []
+        if flows:
+            yield Trace(flows=flows)
+
+
+# --------------------------------------------------------------------------- #
+# multi-tenant merge
+# --------------------------------------------------------------------------- #
+@dataclass
+class MergeSource(TraceSource):
+    """Interleave several sources over one fabric, epoch by epoch.
+
+    Every epoch concatenates one epoch from each still-live tenant, in tenant
+    order (sketches are order-insensitive within an epoch, so concatenation
+    and fine-grained interleaving are equivalent to the data plane).  With
+    ``stop="longest"`` (the default) exhausted tenants simply drop out —
+    tenants come and go without ending the stream; ``stop="shortest"`` ends
+    the merged stream with its shortest tenant.
+    """
+
+    sources: Sequence[TraceSource]
+    stop: str = "longest"
+
+    def __post_init__(self) -> None:
+        self.sources = tuple(self.sources)
+        if not self.sources:
+            raise ValueError("MergeSource needs at least one tenant source")
+        if self.stop not in ("longest", "shortest"):
+            raise ValueError("stop must be 'longest' or 'shortest'")
+
+    def epochs(self) -> Iterator[Trace]:
+        iterators: List[Optional[Iterator[Trace]]] = [
+            iter(source) for source in self.sources
+        ]
+        while True:
+            flows: List[FlowRecord] = []
+            live = 0
+            for index, iterator in enumerate(iterators):
+                if iterator is None:
+                    continue
+                try:
+                    trace = next(iterator)
+                except StopIteration:
+                    iterators[index] = None
+                    if self.stop == "shortest":
+                        return
+                    continue
+                live += 1
+                flows.extend(trace.flows)
+            if not live:
+                return
+            yield Trace(flows=flows)
+
+
+# --------------------------------------------------------------------------- #
+# bounded views
+# --------------------------------------------------------------------------- #
+@dataclass
+class LimitedSource(TraceSource):
+    """At most the first ``max_epochs`` epochs of another source."""
+
+    source: TraceSource
+    max_epochs: int
+
+    def epochs(self) -> Iterator[Trace]:
+        for epoch, trace in enumerate(self.source):
+            if epoch >= self.max_epochs:
+                return
+            yield trace

@@ -158,6 +158,29 @@ class TestRegistryCommands:
         assert "===" not in out
         assert out.splitlines()[0].startswith("victims,")
 
+    def test_json_stdout_streams_rows_per_point(self, capsys):
+        """The JSON stream is one valid document whose rows arrive per point."""
+        assert main([
+            "run", "fig6", "--set", "flows=100,200", "--set", "victims=20",
+            "--set", "trials=1", "--json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert [p["rows"][0]["flows"] for p in payload["points"]] == [100, 200]
+        # Each point's rows start on their own line (written as the point
+        # completed), so a consumer tailing stdout sees them incrementally.
+        row_lines = [line for line in out.splitlines() if line.startswith('{"flows"')]
+        assert len(row_lines) == 2
+
+    def test_csv_stdout_streams_rows_per_point(self, capsys):
+        assert main([
+            "run", "fig6", "--set", "flows=100,200", "--set", "victims=20",
+            "--set", "trials=1", "--csv", "-",
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("flows,")
+        assert [line.split(",")[0] for line in lines[1:3]] == ["100", "200"]
+
     def test_fig9_schedule_override_via_set(self, capsys):
         assert main([
             "run", "fig9", "--set", "schedule=150:0.05,300:0.15",
@@ -177,3 +200,75 @@ class TestRegistryCommands:
     def test_fig9_unequal_flows_ratios_fails(self, capsys):
         assert main(["fig9", "--flows", "150", "300", "--ratios", "0.05"]) == 2
         assert "--ratios values" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    """The continuous streaming engine behind ``repro.cli stream``."""
+
+    def test_stream_writes_jsonl_records(self, capsys, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        assert main([
+            "stream", "--phases", "100:0.05:2,200:0.2:1", "--scale", "0.05",
+            "--jsonl", path, "--quiet",
+        ]) == 0
+        records = [json.loads(line) for line in open(path)]
+        assert [r["epoch"] for r in records] == [0, 1, 2]
+        assert [r["num_flows"] for r in records] == [100, 100, 200]
+        assert "[stream] 3 epochs" in capsys.readouterr().err
+
+    def test_stream_console_lines_and_summary(self, capsys):
+        assert main(["stream", "--phases", "80:0.1:2", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch    0" in out and "epoch    1" in out
+        assert "[stream] 2 epochs" in out
+
+    def test_stream_csv_stdout_is_pure(self, capsys):
+        assert main([
+            "stream", "--phases", "80:0.1:2", "--scale", "0.05", "--csv", "-",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert lines[0].startswith("epoch,")
+        assert len(lines) == 3
+        assert "[stream]" in captured.err
+
+    def test_stream_epoch_cap_and_failure_flags(self, capsys, tmp_path):
+        path = str(tmp_path / "failover.jsonl")
+        assert main([
+            "stream", "--phases", "100:0.0:6", "--scale", "0.05",
+            "--fail-epoch", "1", "--recover-epoch", "3", "--fail-loss", "1.0",
+            "--epochs", "4", "--jsonl", path, "--quiet",
+        ]) == 0
+        records = [json.loads(line) for line in open(path)]
+        assert len(records) == 4
+        victims = [r["num_victims"] for r in records]
+        assert victims[0] == 0 and victims[1] > 0 and victims[3] == 0
+
+    def test_stream_trace_replay(self, capsys, tmp_path):
+        from repro.stream import SyntheticSource, write_trace_file
+
+        trace_path = str(tmp_path / "replay.jsonl")
+        write_trace_file(trace_path, SyntheticSource.steady(60, 2, seed=3))
+        assert main([
+            "stream", "--trace", trace_path, "--scale", "0.05", "--quiet",
+        ]) == 0
+        assert "[stream] 2 epochs" in capsys.readouterr().err
+
+    def test_stream_rejects_double_stdout(self, capsys):
+        assert main(["stream", "--jsonl", "-", "--csv", "-"]) == 2
+        assert "cannot share stdout" in capsys.readouterr().err
+
+    def test_stream_rejects_malformed_phases(self, capsys):
+        assert main(["stream", "--phases", "100-0.05-2"]) == 2
+        assert "flows:victim_ratio:epochs" in capsys.readouterr().err
+
+    def test_stream_rejects_missing_trace_file(self, capsys):
+        assert main(["stream", "--trace", "no_such_trace.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_stream_rejects_out_of_range_fail_host(self, capsys):
+        assert main([
+            "stream", "--phases", "50:0.0:1", "--fail-epoch", "0",
+            "--fail-host", "99",
+        ]) == 2
+        assert "--fail-host" in capsys.readouterr().err

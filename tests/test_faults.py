@@ -78,6 +78,97 @@ class TestFaultModels:
         assert {f.flow_id for f in faulty.flows if f.is_victim} == affected
 
 
+class TestLinkFailureAffectsEcmpPaths:
+    """LinkFailure.affects against the router's actual ECMP paths."""
+
+    def test_affects_is_endpoint_order_insensitive(self, topology):
+        router = EcmpRouter(topology, seed=0)
+        path = router.path_for_flow(1234, 0, 5)
+        for left, right in zip(path, path[1:]):
+            assert LinkFailure(left, right).affects(path)
+            assert LinkFailure(right, left).affects(path)
+
+    def test_affects_rejects_non_adjacent_node_pairs(self, topology):
+        router = EcmpRouter(topology, seed=0)
+        path = router.path_for_flow(99, 0, 5)
+        # The path's two endpoints are on it but never adjacent (host-to-host
+        # always crosses at least one switch), so that "link" never matches.
+        assert not LinkFailure(path[0], path[-1]).affects(path)
+
+    def test_core_link_failure_affects_exactly_the_crossing_paths(self, topology):
+        router = EcmpRouter(topology, seed=0)
+        core = topology.core_switches[0]
+        agg = next(iter(topology.graph[core]))
+        fault = LinkFailure(core, agg)
+        trace = make_trace(topology, num_flows=400, seed=10)
+        crossing = set()
+        for flow in trace.flows:
+            path = router.path_for_flow(flow.flow_id, flow.src_host, flow.dst_host)
+            edges = {frozenset(pair) for pair in zip(path, path[1:])}
+            if frozenset((core, agg)) in edges:
+                crossing.add(flow.flow_id)
+                assert fault.affects(path)
+            else:
+                assert not fault.affects(path)
+        # ECMP spreads inter-pod flows over both cores: some (not all) cross.
+        assert 0 < len(crossing) < len(trace)
+        victims = set(victims_by_cause(trace, topology, [fault], router=router)[0])
+        assert victims == crossing
+
+    def test_intra_rack_flows_never_cross_fabric_links(self, topology):
+        router = EcmpRouter(topology, seed=0)
+        core = topology.core_switches[0]
+        agg = next(iter(topology.graph[core]))
+        fault = LinkFailure(core, agg)
+        rack_hosts = [
+            index
+            for index in range(topology.num_hosts)
+            if topology.edge_switch_of_host(index) == topology.edge_switch_of_host(0)
+        ]
+        assert len(rack_hosts) >= 2
+        path = router.path_for_flow(7, rack_hosts[0], rack_hosts[1])
+        assert not fault.affects(path)
+
+
+class TestFaultedEpochSurvival:
+    """Fault-rewritten victim sets must survive a simulated epoch intact."""
+
+    @pytest.mark.parametrize("loss_rate", [0.3, 1.0])
+    def test_epoch_truth_matches_fault_assignment(self, topology, loss_rate):
+        simulator = build_testbed_simulator(resources=SwitchResources.scaled(0.1), seed=11)
+        trace = make_trace(topology, num_flows=200, seed=11)
+        edge = simulator.topology.edge_switch_of_host(4)
+        fault = LinkFailure(edge, simulator.topology.host(4), loss_rate=loss_rate)
+        faulty = apply_faults(trace, simulator.topology, [fault], seed=11,
+                              router=simulator.router)
+        truth = simulator.run_epoch(faulty)
+        # The simulator's ground truth reproduces the fault model's victim
+        # set and per-flow loss counts exactly.
+        assert truth.losses == faulty.loss_map()
+        assert set(truth.losses) == {f.flow_id for f in faulty.flows if f.is_victim}
+
+    def test_ecmp_core_fault_attribution_through_an_epoch(self, topology):
+        simulator = build_testbed_simulator(resources=SwitchResources.scaled(0.1), seed=12)
+        trace = make_trace(topology, num_flows=200, seed=12)
+        core = simulator.topology.core_switches[1]
+        agg = next(iter(simulator.topology.graph[core]))
+        fault = LinkFailure(core, agg, loss_rate=0.4)
+        faulty = apply_faults(trace, simulator.topology, [fault], seed=12,
+                              router=simulator.router)
+        expected = set(victims_by_cause(trace, simulator.topology, [fault],
+                                        router=simulator.router)[0])
+        assert {f.flow_id for f in faulty.flows if f.is_victim} == expected
+
+        simulator.run_epoch(faulty)
+        groups = {node: s.end_epoch() for node, s in simulator.switches.items()}
+        report = packet_loss_detection(groups)
+        assert report.analysis_completed
+        assert set(report.all_losses()) == set(faulty.loss_map())
+        # Loss counts are attributed exactly (Fermat decodes are lossless
+        # when the encoders are sized for the epoch's victim count).
+        assert report.all_losses() == faulty.loss_map()
+
+
 class TestEndToEndAttribution:
     def test_chamelemon_reports_the_faulted_flows(self, topology):
         """Inject a grey link failure and check ChameleMon's loss report."""

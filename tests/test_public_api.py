@@ -47,6 +47,13 @@ class TestPublicApi:
         for name in experiments.__all__:
             assert hasattr(experiments, name), name
 
+    def test_stream_exports(self):
+        from repro import stream
+
+        for name in stream.__all__:
+            assert hasattr(stream, name), name
+        assert hasattr(repro, "StreamingEngine")
+
     def test_quickstart_snippet(self):
         """The README quickstart must keep working."""
         from repro import FermatSketch

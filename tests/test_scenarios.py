@@ -22,6 +22,7 @@ EXPECTED_SCENARIOS = {
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "workloads", "overheads", "ablation_classifier", "ablation_fermat",
     "backend_speedup", "demo",
+    "stream_timeline", "stream_failover", "stream_multitenant",
 }
 
 

@@ -19,6 +19,7 @@ from repro.traffic.generator import (
     largest_flows,
     make_flow_id,
     restrict_to_flows,
+    sample_binomial,
 )
 
 
@@ -168,6 +169,54 @@ class TestGenerators:
         b = generate_workload("DCTCP", num_flows=100, victim_ratio=0.1, seed=7)
         assert a.flow_sizes() == b.flow_sizes()
         assert a.loss_map() == b.loss_map()
+
+
+class TestSampleBinomial:
+    """One exact binomial draw per flow (replacing the per-packet coin flips)."""
+
+    def test_edge_cases(self):
+        rng = random.Random(0)
+        assert sample_binomial(rng, 0, 0.5) == 0
+        assert sample_binomial(rng, 10, 0.0) == 0
+        assert sample_binomial(rng, 10, 1.0) == 10
+        assert sample_binomial(rng, -3, 0.5) == 0
+
+    def test_support_bounds(self):
+        rng = random.Random(1)
+        for n, p in ((1, 0.5), (7, 0.01), (40, 0.99)):
+            draws = [sample_binomial(rng, n, p) for _ in range(300)]
+            assert all(0 <= draw <= n for draw in draws)
+
+    def test_moments_match_binomial(self):
+        rng = random.Random(2)
+        for n, p in ((50, 0.1), (1000, 0.05), (5000, 0.5)):
+            draws = [sample_binomial(rng, n, p) for _ in range(2000)]
+            mean = sum(draws) / len(draws)
+            variance = sum((draw - mean) ** 2 for draw in draws) / len(draws)
+            assert mean == pytest.approx(n * p, rel=0.05)
+            assert variance == pytest.approx(n * p * (1 - p), rel=0.15)
+
+    def test_large_population_does_not_underflow(self):
+        # pmf(0) underflows to 0.0 for these (n, p); the mean-centred scan
+        # origin must keep the draw in the bulk of the distribution.
+        rng = random.Random(3)
+        draws = [sample_binomial(rng, 200_000, 0.5) for _ in range(50)]
+        assert all(99_000 < draw < 101_000 for draw in draws)
+
+    def test_single_uniform_variate_consumed(self):
+        rng = random.Random(4)
+        sample_binomial(rng, 1000, 0.3)
+        follower = rng.random()
+        rng = random.Random(4)
+        rng.random()
+        assert follower == rng.random()
+
+    def test_victim_losses_scale_with_flow_sizes(self):
+        trace = generate_caida_like_trace(
+            num_flows=300, victim_flows=300, loss_rate=0.2, seed=8
+        )
+        total = trace.num_packets()
+        assert trace.total_losses() == pytest.approx(0.2 * total, rel=0.1)
 
     def test_make_flow_id_deterministic(self):
         assert make_flow_id(5, seed=1) == make_flow_id(5, seed=1)
