@@ -1,0 +1,215 @@
+"""Decode-plane throughput: frontier-based NumPy peeling vs the scalar queue.
+
+After PR 1 vectorized every insertion path and PR 3 vectorized the MRAC EM
+loop, the per-epoch controller cost was dominated by the scalar peeling
+decoders.  This benchmark demonstrates, on a 100k-flow epoch, that the
+vectorized decoders of FermatSketch / FlowRadar / LossRadar
+
+* recover **bit-identical** flow sets (same flows, ``success``, ``remaining``)
+  to the scalar references, and
+* run at least :data:`MIN_FERMAT_SPEEDUP` times faster on the FermatSketch
+  hot path (the acceptance bar at full scale).
+
+The measured rates are written to ``BENCH_decode_throughput.json`` (a
+serialized ``RunResult``) so the decode-throughput trajectory is tracked
+across commits next to the backend-speedup and stream-throughput artifacts.
+"""
+
+import os
+import random
+import time
+
+import conftest
+
+from repro.scenarios.results import RunResult
+from repro.sketches.fermat import MERSENNE_PRIME_127, FermatSketch
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.lossradar import LossRadar
+from repro.traffic.generator import generate_caida_like_trace
+
+#: Minimum acceptable vectorized-vs-scalar decode speedup (FermatSketch, the
+#: control-plane hot path) at full scale.
+MIN_FERMAT_SPEEDUP = 5.0
+
+#: Machine-readable perf artifact, written next to the repository root.
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_decode_throughput.json",
+)
+
+
+def _trace_arrays(num_flows, seed=5):
+    trace = generate_caida_like_trace(num_flows, seed=seed)
+    ids = [flow.flow_id for flow in trace.flows]
+    sizes = [flow.size for flow in trace.flows]
+    return ids, sizes
+
+
+def _time_decodes(sketch, scalar_decode, vectorized_decode, destructive=False):
+    """Decode both ways, assert bit-identical results, return the timings.
+
+    ``destructive=True`` (FermatSketch) decodes fresh copies; FlowRadar and
+    LossRadar decodes leave the sketch untouched and need none.
+    """
+    scalar_copy = sketch.copy() if destructive else sketch
+    start = time.perf_counter()
+    scalar_result = scalar_decode(scalar_copy)
+    scalar_seconds = time.perf_counter() - start
+
+    vector_copy = sketch.copy() if destructive else sketch
+    start = time.perf_counter()
+    vector_result = vectorized_decode(vector_copy)
+    vectorized_seconds = time.perf_counter() - start
+
+    assert scalar_result.flows == vector_result.flows, (
+        "vectorized decode diverged from the scalar reference"
+    )
+    assert scalar_result.success == vector_result.success
+    assert scalar_result.remaining == vector_result.remaining
+    return scalar_seconds, vectorized_seconds, scalar_result
+
+
+def test_decode_plane_identical_and_fast():
+    num_flows = conftest.scaled(100_000)
+    ids, sizes = _trace_arrays(num_flows)
+    rng = random.Random(17)
+    rows = []
+
+    # FermatSketch, 61-bit Mersenne prime with fingerprints: the standalone
+    # loss-detection configuration (figures 4-6).
+    fermat = FermatSketch.for_flow_count(
+        num_flows, load_factor=0.7, seed=1, fingerprint_bits=8
+    )
+    fermat.insert_batch(ids, sizes)
+    scalar_s, vector_s, result = _time_decodes(
+        fermat,
+        lambda s: s.decode_scalar(),
+        lambda s: s.decode_vectorized(),
+        destructive=True,
+    )
+    rows.append(
+        {
+            "sketch": "fermat_p61",
+            "flows": num_flows,
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": scalar_s / max(vector_s, 1e-9),
+            "decode_success": result.success,
+        }
+    )
+    fermat_speedup = rows[-1]["speedup"]
+
+    # FermatSketch, 127-bit Mersenne prime: the control plane's network-wide
+    # encoders (wide residues, Montgomery batch inversion path).
+    wide_flows = max(1, num_flows // 4)
+    fermat_wide = FermatSketch.for_flow_count(
+        wide_flows, load_factor=0.7, seed=2, prime=MERSENNE_PRIME_127
+    )
+    fermat_wide.insert_batch(ids[:wide_flows], sizes[:wide_flows])
+    scalar_s, vector_s, result = _time_decodes(
+        fermat_wide,
+        lambda s: s.decode_scalar(),
+        lambda s: s.decode_vectorized(),
+        destructive=True,
+    )
+    rows.append(
+        {
+            "sketch": "fermat_p127",
+            "flows": wide_flows,
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": scalar_s / max(vector_s, 1e-9),
+            "decode_success": result.success,
+        }
+    )
+
+    # FlowRadar at the paper's ~1.4 cells/flow operating point.  The flow
+    # filter is sized generously (64 bits/flow) so no Bloom false positive
+    # leaves ghost packets in the table: on ghost-contaminated states the
+    # recovered *sizes* are peel-order-dependent (see FlowRadar.decode), and
+    # this benchmark asserts bit-identity of the two decode paths.
+    flowradar = FlowRadar(int(num_flows * 1.4), filter_bits=num_flows * 64, seed=3)
+    for flow_id, size in zip(ids, sizes):
+        flowradar.insert(flow_id, size)
+    scalar_s, vector_s, result = _time_decodes(
+        flowradar,
+        lambda s: s.decode_scalar(),
+        lambda s: s.decode(),
+    )
+    rows.append(
+        {
+            "sketch": "flowradar",
+            "flows": num_flows,
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": scalar_s / max(vector_s, 1e-9),
+            "decode_success": result.success,
+        }
+    )
+
+    # LossRadar over the *lost* packets (the delta meter of figures 4-6).
+    # Losses are aggregated per unique flow first: duplicate flow IDs would
+    # re-insert the same (flow, sequence) identifiers, which cancel in the
+    # XOR field and leave unpeelable cells.
+    losses = {}
+    for flow_id in ids:
+        losses[flow_id] = rng.randrange(1, 4)
+    lost_packets = sum(losses.values())
+    lossradar = LossRadar(int(lost_packets * 1.6), seed=4)
+    lossradar.insert_batch(list(losses), list(losses.values()))
+    scalar_s, vector_s, result = _time_decodes(
+        lossradar,
+        lambda s: s.decode_scalar(),
+        lambda s: s.decode(),
+    )
+    rows.append(
+        {
+            "sketch": "lossradar",
+            "flows": num_flows,
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": scalar_s / max(vector_s, 1e-9),
+            "decode_success": result.success,
+        }
+    )
+
+    conftest.print_table(
+        "Decode plane: frontier NumPy peeling vs scalar queue",
+        ["sketch", "flows", "scalar (s)", "vectorized (s)", "speedup", "success"],
+        [
+            [
+                row["sketch"],
+                row["flows"],
+                f"{row['scalar_seconds']:.3f}",
+                f"{row['vectorized_seconds']:.3f}",
+                f"{row['speedup']:.1f}x",
+                row["decode_success"],
+            ]
+            for row in rows
+        ],
+    )
+
+    result = RunResult(
+        scenario="decode_throughput",
+        params={
+            "flows": num_flows,
+            "repro_scale": conftest.SCALE,
+            "cpu_count": os.cpu_count(),
+        },
+        seed=5,
+        rows=rows,
+        extras={
+            "fermat_speedup": fermat_speedup,
+            "min_fermat_speedup": MIN_FERMAT_SPEEDUP,
+        },
+    )
+    result.to_json(path=ARTIFACT_PATH)
+    print(f"perf artifact written to {ARTIFACT_PATH}")
+
+    # Small sketches (REPRO_SCALE < 1) leave the fixed per-round NumPy
+    # overhead visible; the 5x bar is the acceptance criterion at full scale.
+    required = MIN_FERMAT_SPEEDUP if conftest.SCALE >= 1.0 else 2.0
+    assert fermat_speedup >= required, (
+        f"vectorized Fermat decode only {fermat_speedup:.1f}x faster than the "
+        f"scalar reference (required {required:.0f}x at scale {conftest.SCALE})"
+    )

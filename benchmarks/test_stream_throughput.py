@@ -37,7 +37,9 @@ ARTIFACT_PATH = os.path.join(
 )
 
 #: Switch-resource scale of the comparison (both modes use the same fabric).
-RESOURCE_SCALE = 0.03
+#: 0.1 keeps the per-epoch controller decode a representative share of the
+#: epoch (the vectorized decode plane's domain) while staying CI-friendly.
+RESOURCE_SCALE = 0.1
 
 #: Interleaved best-of-N repeats: the workload is deterministic, so repeats
 #: only filter scheduler noise out of the wall times, and interleaving the

@@ -14,6 +14,7 @@ flow encoder (HL + LL parts).  This module implements the analysis pipeline:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -46,6 +47,10 @@ class LossReport:
     hl_flow_count_estimate: float = 0.0
     ll_flow_count_estimate: float = 0.0
     analysis_completed: bool = False
+    #: Wall-clock milliseconds spent in sketch decoding this epoch (HH
+    #: encoders plus the delta HL/LL encoders) — exported per epoch by the
+    #: streaming telemetry so decode cost is visible in JSONL/CSV records.
+    decode_ms: float = 0.0
 
     def all_losses(self) -> Dict[int, int]:
         """Every reported victim flow with its estimated lost packets.
@@ -65,15 +70,24 @@ class LossReport:
         return len(self.light_losses)
 
 
-def decode_hh_encoders(groups: Mapping[SwitchId, SketchGroup]) -> Dict[SwitchId, HHDecode]:
-    """Decode every switch's upstream HH encoder into its HH Flowset."""
+def decode_hh_encoders(
+    groups: Mapping[SwitchId, SketchGroup], destructive: bool = False
+) -> Dict[SwitchId, HHDecode]:
+    """Decode every switch's upstream HH encoder into its HH Flowset.
+
+    ``destructive=True`` decodes each encoder in place instead of copying it
+    first — the fast path when the caller owns throwaway collected groups
+    (the controller's per-epoch analysis, the streaming engine).  The decode
+    results are identical either way; only the encoder's residual state
+    differs (drained instead of intact).
+    """
     results: Dict[SwitchId, HHDecode] = {}
     for switch_id, group in groups.items():
         hh = group.upstream.parts.hh
         if hh is None:
             results[switch_id] = HHDecode(flowset={}, success=True, num_candidates=0)
             continue
-        decoded = hh.decode_nondestructive()
+        decoded = hh.decode() if destructive else hh.decode_nondestructive()
         flows = decoded.positive_flows()
         results[switch_id] = HHDecode(
             flowset=flows, success=decoded.success, num_candidates=len(flows)
@@ -127,10 +141,23 @@ def compute_delta_encoders(
     return delta_hl, delta_ll
 
 
-def packet_loss_detection(groups: Mapping[SwitchId, SketchGroup]) -> LossReport:
-    """Full packet-loss analysis for one epoch (section 4.2, first task)."""
+def packet_loss_detection(
+    groups: Mapping[SwitchId, SketchGroup], destructive: bool = False
+) -> LossReport:
+    """Full packet-loss analysis for one epoch (section 4.2, first task).
+
+    ``destructive=True`` decodes the collected HH encoders in place (no
+    per-switch sketch copies) — safe whenever the caller will not reuse the
+    groups' Fermat encoders afterwards, which is how the controller and the
+    streaming engine run every epoch.  The delta HL/LL encoders are always
+    decoded in place: they are built (and owned) here and discarded after
+    analysis, so the pre-decode copy the scalar pipeline used to make was
+    pure overhead.  Total decode wall time is reported in ``decode_ms``.
+    """
     report = LossReport()
-    report.hh_decodes = decode_hh_encoders(groups)
+    decode_start = time.perf_counter()
+    report.hh_decodes = decode_hh_encoders(groups, destructive=destructive)
+    report.decode_ms = (time.perf_counter() - decode_start) * 1000.0
 
     if not all(decode.success for decode in report.hh_decodes.values()):
         # The controller stops here: the delta HL encoder cannot be built
@@ -141,19 +168,28 @@ def packet_loss_detection(groups: Mapping[SwitchId, SketchGroup]) -> LossReport:
     delta_hl, delta_ll = compute_delta_encoders(groups, report.hh_decodes)
 
     if delta_hl is not None:
-        hl_result: DecodeResult = delta_hl.copy().decode()
+        # Decoding drains the sketch, so snapshot one array's counts first:
+        # the linear-counting fallback needs the pre-decode occupancy.
+        hl_counts_row0 = delta_hl.counts_array(0)
+        decode_start = time.perf_counter()
+        hl_result: DecodeResult = delta_hl.decode()
+        report.decode_ms += (time.perf_counter() - decode_start) * 1000.0
         report.hl_decode_success = hl_result.success
         if hl_result.success:
             report.heavy_losses = hl_result.positive_flows()
             report.hl_flow_count_estimate = float(len(report.heavy_losses))
         else:
-            counts = [delta_hl.bucket(0, j)[0] for j in range(delta_hl.buckets_per_array)]
-            report.hl_flow_count_estimate = estimate_flows_per_bucket_array(counts)
+            report.hl_flow_count_estimate = estimate_flows_per_bucket_array(
+                [int(c) for c in hl_counts_row0]
+            )
     else:
         report.hl_decode_success = False
 
     if delta_ll is not None:
-        ll_result = delta_ll.copy().decode()
+        ll_counts_row0 = delta_ll.counts_array(0)
+        decode_start = time.perf_counter()
+        ll_result = delta_ll.decode()
+        report.decode_ms += (time.perf_counter() - decode_start) * 1000.0
         report.ll_decode_success = ll_result.success
         if ll_result.success:
             decoded_ll = ll_result.positive_flows()
@@ -168,8 +204,9 @@ def packet_loss_detection(groups: Mapping[SwitchId, SketchGroup]) -> LossReport:
                     report.heavy_losses[flow_id] += count
             report.ll_flow_count_estimate = float(len(decoded_ll))
         else:
-            counts = [delta_ll.bucket(0, j)[0] for j in range(delta_ll.buckets_per_array)]
-            report.ll_flow_count_estimate = estimate_flows_per_bucket_array(counts)
+            report.ll_flow_count_estimate = estimate_flows_per_bucket_array(
+                [int(c) for c in ll_counts_row0]
+            )
     else:
         report.ll_decode_success = True  # nothing to decode (no LL encoder allocated)
 

@@ -72,6 +72,11 @@ class EpochReport:
             "ll": len(self.loss_report.light_losses),
         }
 
+    @property
+    def decode_ms(self) -> float:
+        """Wall-clock milliseconds the epoch's analysis spent decoding sketches."""
+        return self.loss_report.decode_ms
+
     def upstream_load_factor(self) -> float:
         """Decoded flows per upstream bucket — the paper's utilisation measure."""
         layout = self.config.layout
@@ -125,9 +130,16 @@ class CentralController:
         groups: Mapping[SwitchId, SketchGroup],
         config: MonitoringConfig,
         compute_tasks: bool = True,
+        destructive: bool = False,
     ) -> EpochReport:
-        """Analyse one epoch's sketches and decide the next configuration."""
-        loss_report = packet_loss_detection(groups)
+        """Analyse one epoch's sketches and decide the next configuration.
+
+        ``destructive=True`` lets the loss analysis decode the collected HH
+        encoders in place (no sketch copies); the accumulation tasks only read
+        the classifiers and the decoded flowsets, so the reports are identical
+        either way.
+        """
+        loss_report = packet_loss_detection(groups, destructive=destructive)
         hh_flowsets = {
             switch_id: decode.flowset
             for switch_id, decode in loss_report.hh_decodes.items()

@@ -71,6 +71,11 @@ class ChameleMon:
     #: history); an integer keeps only the most recent N so that a continuous
     #: run (repro.stream) holds O(epoch) state instead of O(run).
     history_limit: Optional[int] = None
+    #: Decode collected HH encoders in place during analysis (no sketch
+    #: copies).  Reports are identical; only the collected groups' encoder
+    #: state is consumed.  The streaming engine turns this on — the groups it
+    #: collects are throwaways.
+    destructive_analysis: bool = False
 
     def __post_init__(self) -> None:
         self.simulator: NetworkSimulator = build_testbed_simulator(
@@ -119,7 +124,10 @@ class ChameleMon:
         }
         config_used = next(iter(groups.values())).config
         report = self.controller.process_epoch(
-            groups, config_used, compute_tasks=self.compute_tasks
+            groups,
+            config_used,
+            compute_tasks=self.compute_tasks,
+            destructive=self.destructive_analysis,
         )
         for switch in self.simulator.switches.values():
             switch.apply_config(report.decision.config)

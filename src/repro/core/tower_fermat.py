@@ -176,7 +176,13 @@ class TowerFermat(HeavyHitterSketch, FrequencySketch):
             self.fermat.insert_batch(promoted_ids, promoted_counts)
 
     def flowset(self) -> Dict[int, int]:
-        """The decoded Fermat Flowset (cached until the next insertion)."""
+        """The decoded Fermat Flowset (cached until the next insertion).
+
+        The sketch itself must survive the query (later inserts keep
+        accumulating), so the Fermat part is copied and the copy is drained by
+        the vectorized frontier decoder — with the array-backed bucket storage
+        the copy is two array clones, not a per-bucket loop.
+        """
         if self._flowset is None:
             result = self.fermat.decode_nondestructive()
             self._flowset = result.positive_flows()

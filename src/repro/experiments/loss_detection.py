@@ -110,9 +110,10 @@ def _run_lossradar(trace: Trace, num_cells: int, seed: int) -> Tuple[bool, float
     # keeps the experiment linear in the number of *lost* packets while being
     # bit-for-bit identical to encode-both-then-subtract.
     delta = build("lossradar", num_cells=num_cells, seed=seed)
-    for flow_id, sequences in _lost_sequences(trace, seed).items():
-        for sequence in sequences:
-            delta.insert_packet(flow_id, sequence)
+    lost = _lost_sequences(trace, seed)
+    flow_ids = [f for f, seqs in lost.items() for _ in seqs]
+    sequences = [s for seqs in lost.values() for s in seqs]
+    delta.insert_packets(flow_ids, sequences)
     start = time.perf_counter()
     result = delta.decode()
     elapsed = time.perf_counter() - start

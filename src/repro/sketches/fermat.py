@@ -42,7 +42,10 @@ from .hashing import (
     PairwiseHash,
     fold_limb_sums_mod_mersenne,
     mersenne_exponent,
+    modexp_mersenne_u64,
+    modinv_batch,
     modmul_array,
+    modmul_mersenne_u64,
 )
 
 # Primes used as the Fermat modulus.  The modulus must exceed every flow ID
@@ -55,8 +58,49 @@ MERSENNE_PRIME_127 = (1 << 127) - 1
 #: memory efficiency (c_3 = 1.23 buckets per flow).
 DEFAULT_NUM_ARRAYS = 3
 
+#: Below this many candidate buckets a frontier round is all fixed NumPy
+#: overhead (a few hundred kernel launches regardless of batch size), so the
+#: vectorized decoder hands the remaining (small or rarely contended) tail to
+#: the scalar queue decoder instead.
+SCALAR_TAIL_BUCKETS = 512
+
+#: The same cutoff for wide (89/127-bit) primes, where the trade is inverted
+#: on both sides: a scalar bucket probe pays a wide-exponent ``pow`` (~10x a
+#: 61-bit one) while a frontier round is mostly one cheap Montgomery batch
+#: inversion, so the frontier stays profitable down to much smaller sketches.
+SCALAR_TAIL_BUCKETS_WIDE = 64
+
+#: When a frontier round peels fewer than 1/16 of its candidate buckets the
+#: decode is trickling (a contended, usually overloaded sketch): rescanning
+#: the whole frontier every round would degrade to O(buckets^2), while the
+#: scalar queue only revisits buckets a peel actually touched.
+SCALAR_TAIL_PEEL_FRACTION = 16
+
+#: Number of *consecutive* trickling rounds tolerated before handing the
+#: decode to the scalar queue.  Overloaded sketches usually reach a fixpoint
+#: (zero verified peels — no scalar pass needed at all) within a round or
+#: two of trickling; only a sustained trickle is worth the switch.
+SCALAR_TAIL_TRICKLE_ROUNDS = 3
+
+#: Minimum batch of *uncached* counts worth the vectorized modular
+#: exponentiation: below this, per-value ``pow`` beats the fixed cost of the
+#: ~2·log2(p) limb-kernel launches.  Inverses are cached across rounds, so
+#: the batch path runs once on the large first frontier and later rounds hit
+#: the cache.
+MODEXP_MIN_BATCH = 1024
+
 #: Field widths used by the paper's CPU evaluation (32-bit count, 32-bit ID).
 DEFAULT_BUCKET_BYTES = 8
+
+
+def _merge_flows(flows: Dict[int, int], items: Iterable[Tuple[int, int]]) -> None:
+    """Accumulate (flow, count) pairs into ``flows``, dropping zero totals."""
+    for flow_id, count in items:
+        merged = flows.get(flow_id, 0) + count
+        if merged:
+            flows[flow_id] = merged
+        else:
+            flows.pop(flow_id, None)
 
 
 def peeling_threshold(d: int, samples: int = 4096) -> float:
@@ -445,13 +489,37 @@ class FermatSketch(InvertibleSketch):
             return None
         return ext, flow_id, count
 
-    def decode(self, max_iterations: Optional[int] = None) -> DecodeResult:
+    def decode(
+        self, max_iterations: Optional[int] = None, vectorized: bool = True
+    ) -> DecodeResult:
         """Recover every encoded flow and its size (Algorithm 2).
 
         The decoding peels pure buckets repeatedly.  It succeeds when the
         sketch is fully drained; otherwise ``success`` is ``False`` and
         ``remaining`` reports how many non-empty buckets are left.  Flows that
         were inserted and later fully removed do not appear in the result.
+
+        ``vectorized=True`` (the default) runs the frontier-based NumPy
+        decoder (:meth:`decode_vectorized`); ``vectorized=False`` runs the
+        scalar queue reference (:meth:`decode_scalar`).  Both produce the same
+        recovered flows, ``success``, ``remaining``, and residual bucket state.
+
+        An explicit ``max_iterations`` asks for the reference's pop-bounded
+        stopping behavior (the vectorized decoder counts peeled flows per
+        round, not bucket pops), so it always runs the scalar queue.
+        """
+        if vectorized and max_iterations is None:
+            return self.decode_vectorized()
+        return self.decode_scalar(max_iterations)
+
+    def decode_scalar(self, max_iterations: Optional[int] = None) -> DecodeResult:
+        """The scalar queue decoder — the reference implementation.
+
+        Pops one bucket at a time off a FIFO queue, verifies it with a
+        per-bucket ``pow(count, p - 2, p)``, and re-queues the peeled flow's
+        other buckets.  Kept as the bit-level reference the vectorized decoder
+        is asserted against, and used directly for non-Mersenne primes and for
+        the contended tail of a vectorized decode.
         """
         p = self.params.prime
         d = self.params.num_arrays
@@ -490,9 +558,233 @@ class FermatSketch(InvertibleSketch):
         remaining = self.nonzero_buckets()
         return DecodeResult(flows=flows, success=remaining == 0, remaining=remaining)
 
-    def decode_nondestructive(self) -> DecodeResult:
+    # ------------------------------------------------------------------ #
+    # vectorized (frontier) decoding
+    # ------------------------------------------------------------------ #
+    def decode_vectorized(self, max_iterations: Optional[int] = None) -> DecodeResult:
+        """Frontier-based NumPy peeling — same results as :meth:`decode_scalar`.
+
+        Each round (1) collects every candidate bucket at once, (2) recovers
+        the extended IDs of the whole frontier in batch — ``count^(p-2) mod p``
+        via :func:`~repro.sketches.hashing.modexp_mersenne_u64` on unique
+        counts for primes below ``2**62``, Montgomery batch inversion for the
+        wide 89/127-bit primes — (3) verifies rehash and fingerprint with the
+        vectorized hash path, and (4) subtracts all verified peels with
+        duplicate-safe scatters.  Rounds repeat until no bucket verifies; a
+        frontier of at most :data:`SCALAR_TAIL_BUCKETS` candidates is handed
+        to the scalar queue decoder (per-round NumPy overhead would dominate).
+        Non-Mersenne primes fall back to the scalar reference entirely.
+
+        Caveat: on a *fingerprintless* sketch loaded beyond the peeling
+        threshold, rehash-only pure-bucket verification admits rare false
+        positives, and which ones fire depends on the peel schedule — any two
+        valid schedules (including two different queue disciplines) can then
+        diverge in the garbage they recover or in whether the decode stalls.
+        Fingerprints (appendix A.4) suppress those false positives, and on
+        decodable states every schedule recovers the same true flow set.
+        """
+        p = self.params.prime
+        exponent = mersenne_exponent(p)
+        if exponent is None:
+            return self.decode_scalar(max_iterations)
+        limit = max_iterations if max_iterations is not None else 64 * self.total_buckets()
+        narrow = exponent <= 61  # residues fit uint64; else object-dtype IDsums
+        flows: Dict[int, int] = {}
+        # Count values repeat heavily within and across rounds (loss counts
+        # are small integers), so Fermat inverses are cached per decode.
+        inverse_cache: Dict[int, int] = {}
+        peels = 0
+        trickle_streak = 0
+
+        def finish_on_scalar_queue() -> DecodeResult:
+            tail = self.decode_scalar(max(limit - peels, 1))
+            _merge_flows(flows, tail.flows.items())
+            return DecodeResult(
+                flows=flows, success=tail.success, remaining=tail.remaining
+            )
+
+        while True:
+            if narrow:
+                candidates = [np.nonzero(counts % p != 0)[0] for counts in self._counts]
+            else:
+                # |count| < 2**63 < p, so count is a multiple of p iff it is 0.
+                candidates = [np.nonzero(counts != 0)[0] for counts in self._counts]
+            total = sum(int(j.size) for j in candidates)
+            if total == 0:
+                break
+            tail_cutoff = SCALAR_TAIL_BUCKETS if narrow else SCALAR_TAIL_BUCKETS_WIDE
+            if total <= tail_cutoff or peels >= limit:
+                return finish_on_scalar_queue()
+            if narrow:
+                peeled = self._peel_frontier_u64(candidates, exponent, inverse_cache)
+            else:
+                peeled = self._peel_frontier_wide(candidates, inverse_cache)
+            if not peeled:
+                break
+            _merge_flows(flows, peeled)
+            peels += len(peeled)
+            if len(peeled) * SCALAR_TAIL_PEEL_FRACTION < total:
+                trickle_streak += 1
+                if trickle_streak >= SCALAR_TAIL_TRICKLE_ROUNDS:
+                    # Sustained trickle: finish on the scalar queue decoder.
+                    return finish_on_scalar_queue()
+            else:
+                trickle_streak = 0
+        remaining = self.nonzero_buckets()
+        return DecodeResult(flows=flows, success=remaining == 0, remaining=remaining)
+
+    def _verify_frontier(
+        self, i: int, j: np.ndarray, ext_keys: KeyArray, flow_part, fp_part
+    ) -> np.ndarray:
+        """Pure-bucket verification mask: rehash plus optional fingerprint."""
+        ok = self._hashes[i].hash_array(ext_keys) == j
+        if self._fp_hash is not None:
+            fp = self._fp_hash.hash_array(flow_part).astype(np.uint64)
+            ok &= fp == np.asarray(fp_part, dtype=np.uint64)
+        return ok
+
+    def _invert_counts_u64(
+        self, unique: np.ndarray, exponent: int, cache: Dict[int, int]
+    ) -> np.ndarray:
+        """Fermat inverses of unique count residues, cached across rounds.
+
+        Large uncached batches (the first frontier of a big decode) go through
+        the vectorized limb modexp; small ones use per-value ``pow``, which is
+        cheaper than the fixed kernel-launch cost of the batch path.
+        """
+        p = self.params.prime
+        unique_list = unique.tolist()
+        missing = [c for c in unique_list if c not in cache]
+        if missing:
+            if len(missing) >= MODEXP_MIN_BATCH:
+                inverted = modexp_mersenne_u64(
+                    np.array(missing, dtype=np.uint64), p - 2, exponent
+                )
+                cache.update(zip(missing, inverted.tolist()))
+            else:
+                cache.update((c, pow(c, p - 2, p)) for c in missing)
+        return np.fromiter(
+            (cache[c] for c in unique_list), dtype=np.uint64, count=len(unique_list)
+        )
+
+    def _peel_frontier_u64(
+        self, candidates: List[np.ndarray], exponent: int, cache: Dict[int, int]
+    ) -> List[Tuple[int, int]]:
+        """One frontier round for primes below ``2**62`` (uint64 residues)."""
+        p = self.params.prime
+        bits = self.params.fingerprint_bits
+        exts: List[np.ndarray] = []
+        raws: List[np.ndarray] = []
+        for i, j in enumerate(candidates):
+            if j.size == 0:
+                continue
+            raw = self._counts[i][j]
+            cmod = (raw % p).astype(np.uint64)
+            nonzero = cmod != 0  # counts that are non-zero multiples of p
+            if not nonzero.all():
+                j, raw, cmod = j[nonzero], raw[nonzero], cmod[nonzero]
+                if j.size == 0:
+                    continue
+            # Fermat inversion on *unique* counts only: loss counts repeat
+            # heavily, so this collapses the modexp work per round.
+            unique, inverse_index = np.unique(cmod, return_inverse=True)
+            inverses = self._invert_counts_u64(unique, exponent, cache)[inverse_index]
+            ext = modmul_mersenne_u64(self._idsums[i][j], inverses, exponent)
+            if bits:
+                flow_part = ext >> np.uint64(bits)
+                fp_part = ext & np.uint64((1 << bits) - 1)
+            else:
+                flow_part = fp_part = None
+            ok = self._verify_frontier(i, j, KeyArray(ext), flow_part, fp_part)
+            if ok.any():
+                exts.append(ext[ok])
+                raws.append(raw[ok])
+        if not exts:
+            return []
+        ext_all = np.concatenate(exts)
+        raw_all = np.concatenate(raws)
+        # The same flow can be pure in several buckets at once; peel it once
+        # (the scalar queue sees the later duplicates as already-empty).
+        _, first = np.unique(ext_all, return_index=True)
+        order = np.sort(first)
+        ext_u, count_u = ext_all[order], raw_all[order]
+        keys = KeyArray(ext_u)
+        delta = modmul_mersenne_u64(ext_u, (count_u % p).astype(np.uint64), exponent)
+        # Subtract as the congruent addition of (p - delta): uint64-safe.
+        neg = np.where(delta == 0, np.uint64(0), p - delta)
+        limb_mask = np.uint64(0xFFFFFFFF)
+        buckets = self.params.buckets_per_array
+        # Residues below 2**32 fit a single limb row (and the limb folder's
+        # two-row branch requires e >= 32).
+        limb_rows = 2 if exponent > 32 else 1
+        for i2, h in enumerate(self._hashes):
+            indices = h.hash_array(keys)
+            np.subtract.at(self._counts[i2], indices, count_u)
+            accumulator = np.zeros((limb_rows, buckets), dtype=np.uint64)
+            np.add.at(accumulator[0], indices, neg & limb_mask)
+            if limb_rows == 2:
+                np.add.at(accumulator[1], indices, neg >> np.uint64(32))
+            folded = fold_limb_sums_mod_mersenne(accumulator, exponent)
+            self._idsums[i2] = (self._idsums[i2] + folded) % p
+        flow_ids = (ext_u >> np.uint64(bits)) if bits else ext_u
+        return list(zip(flow_ids.tolist(), count_u.tolist()))
+
+    def _peel_frontier_wide(
+        self, candidates: List[np.ndarray], cache: Dict[int, int]
+    ) -> List[Tuple[int, int]]:
+        """One frontier round for wide primes (object-dtype IDsums).
+
+        Residues exceed uint64, so the modular arithmetic runs on Python ints
+        — but batched: one Montgomery inversion per round instead of one
+        ``pow`` per bucket, and rehash/fingerprint checks on whole arrays.
+        """
+        p = self.params.prime
+        bits = self.params.fingerprint_bits
+        exts: List[int] = []
+        raws: List[int] = []
+        for i, j in enumerate(candidates):
+            if j.size == 0:
+                continue
+            raw = self._counts[i][j].tolist()
+            counts_mod = [c % p for c in raw]
+            idsums = self._idsums[i][j].tolist()
+            missing = [c for c in dict.fromkeys(counts_mod) if c not in cache]
+            if missing:
+                cache.update(zip(missing, modinv_batch(missing, p)))
+            ext = [(int(s) * cache[c]) % p for s, c in zip(idsums, counts_mod)]
+            if bits:
+                fp_mask = (1 << bits) - 1
+                flow_part = [e >> bits for e in ext]
+                fp_part = [e & fp_mask for e in ext]
+            else:
+                flow_part = fp_part = None
+            ok = self._verify_frontier(i, j, KeyArray(ext), flow_part, fp_part)
+            for k in np.nonzero(ok)[0].tolist():
+                exts.append(ext[k])
+                raws.append(raw[k])
+        if not exts:
+            return []
+        seen: Dict[int, int] = {}
+        for ext, count in zip(exts, raws):
+            if ext not in seen:
+                seen[ext] = count
+        ext_u = list(seen)
+        count_u = np.fromiter(seen.values(), dtype=np.int64, count=len(seen))
+        keys = KeyArray(ext_u)
+        neg = np.array(
+            [(p - (e * (c % p)) % p) % p for e, c in seen.items()], dtype=object
+        )
+        for i2, h in enumerate(self._hashes):
+            indices = h.hash_array(keys)
+            np.subtract.at(self._counts[i2], indices, count_u)
+            np.add.at(self._idsums[i2], indices, neg)
+            self._idsums[i2] %= p
+        flow_ids = [e >> bits for e in ext_u] if bits else ext_u
+        return list(zip(flow_ids, count_u.tolist()))
+
+    def decode_nondestructive(self, vectorized: bool = True) -> DecodeResult:
         """Decode a copy, leaving this sketch untouched."""
-        return self.copy().decode()
+        return self.copy().decode(vectorized=vectorized)
 
     def load_factor(self, recorded_flows: int) -> float:
         """Load factor = recorded flows / total buckets."""
@@ -502,13 +794,31 @@ class FermatSketch(InvertibleSketch):
     # convenience
     # ------------------------------------------------------------------ #
     def encode_trace(self, flow_ids: Iterable[int]) -> None:
-        """Insert one packet per element of ``flow_ids``."""
-        for flow_id in flow_ids:
-            self.insert(flow_id)
+        """Insert one packet per element of ``flow_ids``.
+
+        Delegates to :meth:`insert_batch` on the per-flow packet counts
+        (``np.unique`` is the bincount over bucket-able flow IDs), which is
+        bit-identical to the per-packet loop — modular sums are
+        order-insensitive — but runs on the vectorized path.
+        """
+        ids = flow_ids if isinstance(flow_ids, np.ndarray) else list(flow_ids)
+        if len(ids) == 0:
+            return
+        if not isinstance(ids, np.ndarray):
+            try:
+                ids = np.asarray(ids, dtype=np.uint64)
+            except (OverflowError, TypeError, ValueError):
+                ids = np.array([int(k) for k in ids], dtype=object)
+        unique, counts = np.unique(ids, return_counts=True)
+        self.insert_batch(unique, counts.astype(np.int64))
 
     def bucket(self, i: int, j: int) -> Tuple[int, int]:
         """Return the (count, IDsum) pair of bucket ``j`` of array ``i``."""
         return int(self._counts[i][j]), int(self._idsums[i][j])
+
+    def counts_array(self, i: int) -> np.ndarray:
+        """A copy of array ``i``'s per-bucket counts (for load estimation)."""
+        return self._counts[i].copy()
 
 
 def minimum_memory_for_flows(

@@ -489,6 +489,86 @@ def modmul_array(
     return _limbs_mul_small_mod(reduced, factors.astype(np.uint64), exponent)
 
 
+def modmul_mersenne_u64(a: np.ndarray, b: np.ndarray, e: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod (2**e - 1)`` on uint64 residue arrays, e <= 61.
+
+    ``a`` and ``b`` must hold residues below ``2**e - 1``.  The 128-bit product
+    is assembled from 32-bit half-products (every intermediate fits uint64:
+    the high halves are below ``2**(e-32)``, so the cross terms stay under
+    ``2**62`` and the folded sum under ``2**63``) and reduced with the Mersenne
+    identity ``2**64 ≡ 2**(64-e)``.  This is the multiply that the vectorized
+    FermatSketch decoder builds its batched modular exponentiation on.
+    """
+    if e > 61:
+        raise ValueError("modmul_mersenne_u64 supports Mersenne exponents <= 61")
+    mask_e = np.uint64((1 << e) - 1)
+    eu = np.uint64(e)
+    if e <= 31:
+        # Residues below 2**31: the raw product fits uint64 directly.
+        v = a * b
+    else:
+        a0, a1 = a & _LIMB_MASK, a >> _LIMB_SHIFT
+        b0, b1 = b & _LIMB_MASK, b >> _LIMB_SHIFT
+        ll = a0 * b0
+        mid = a0 * b1 + a1 * b0 + (ll >> _LIMB_SHIFT)
+        low = (ll & _LIMB_MASK) | ((mid & _LIMB_MASK) << _LIMB_SHIFT)
+        high = (mid >> _LIMB_SHIFT) + a1 * b1  # product = low + high * 2**64
+        v = (low & mask_e) + (low >> eu) + (high << np.uint64(64 - e))
+    while (v >> eu).any():
+        v = (v & mask_e) + (v >> eu)
+    v[v == mask_e] = 0
+    return v
+
+
+def modexp_mersenne_u64(base: np.ndarray, exponent: int, e: int) -> np.ndarray:
+    """Element-wise ``base ** exponent mod (2**e - 1)`` on uint64 residues.
+
+    Plain square-and-multiply over a *scalar* exponent shared by the whole
+    batch (the FermatSketch decoder raises every pure-bucket count to the
+    fixed ``p - 2``), so the loop body is a handful of vectorized
+    :func:`modmul_mersenne_u64` calls regardless of batch size.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    result = np.ones(base.shape, dtype=np.uint64)
+    if exponent == 0:
+        return result
+    square = base.astype(np.uint64, copy=True)
+    while True:
+        if exponent & 1:
+            result = modmul_mersenne_u64(result, square, e)
+        exponent >>= 1
+        if not exponent:
+            return result
+        square = modmul_mersenne_u64(square, square, e)
+
+
+def modinv_batch(values: Sequence[int], prime: int) -> List[int]:
+    """Inverses mod ``prime`` of non-zero residues via Montgomery's batch trick.
+
+    One prefix-product pass, a single ``pow(_, prime - 2, prime)``, and one
+    back-substitution pass replace ``len(values)`` modular exponentiations —
+    the decoder's fast path for the wide (89/127-bit) Fermat primes whose
+    residues do not fit uint64.
+    """
+    prefix: List[int] = []
+    acc = 1
+    for value in values:
+        acc = (acc * value) % prime
+        prefix.append(acc)
+    if not prefix:
+        return []
+    if acc == 0:
+        raise ValueError("modinv_batch requires values coprime to the prime")
+    inverse = pow(acc, prime - 2, prime)
+    out = [0] * len(prefix)
+    for i in range(len(prefix) - 1, 0, -1):
+        out[i] = (inverse * prefix[i - 1]) % prime
+        inverse = (inverse * (values[i] % prime)) % prime
+    out[0] = inverse
+    return out
+
+
 def fold_limb_sums_mod_mersenne(limb_sums: np.ndarray, e: int) -> Optional[np.ndarray]:
     """Reduce per-bucket base-``2**32`` limb *sums* modulo ``2**e - 1`` in uint64.
 

@@ -104,7 +104,7 @@ class StreamSummary:
 
 #: Record fields that are timing, not results: excluded when comparing a
 #: pipelined run against a serial one for bit-identity.
-TIMING_FIELDS = ("wall_ms",)
+TIMING_FIELDS = ("wall_ms", "decode_ms")
 
 
 def comparable(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -148,6 +148,9 @@ class StreamingEngine:
             compute_tasks=compute_tasks,
             heavy_hitter_threshold=heavy_hitter_threshold,
             history_limit=RESIDENT_EPOCHS,
+            # The engine owns the collected groups and drops them right after
+            # analysis, so the controller may decode them in place.
+            destructive_analysis=True,
         )
         self.conditions = NetworkConditions(self.system.simulator.topology, seed=seed)
         self._resident = _ResidentTracker()
@@ -289,4 +292,5 @@ class StreamingEngine:
             "rolling_f1": sum(f1_window) / len(f1_window),
             "rolling_are": sum(are_window) / len(are_window),
             "wall_ms": wall_ms,
+            "decode_ms": result.report.decode_ms,
         }

@@ -1,0 +1,400 @@
+"""Property tests for the vectorized decode plane.
+
+The frontier-based NumPy decoders (FermatSketch, FlowRadar, LossRadar) must be
+bit-identical to their scalar queue references: same recovered flow dict, same
+``success``, same ``remaining`` — and, for FermatSketch, the same residual
+bucket state — across random seeds, mixed insert/remove traces, subtracted
+sketch pairs, overloaded sketches where decoding must fail, fingerprint and
+fingerprintless configs, and every Fermat prime in use (61/89/127-bit Mersenne
+plus a non-Mersenne prime that routes to the scalar reference).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.controlplane.analysis import packet_loss_detection
+from repro.sketches.fermat import (
+    MERSENNE_PRIME_61,
+    MERSENNE_PRIME_89,
+    MERSENNE_PRIME_127,
+    FermatSketch,
+)
+from repro.sketches.flowradar import FlowRadar
+from repro.sketches.hashing import (
+    modexp_mersenne_u64,
+    modinv_batch,
+    modmul_mersenne_u64,
+)
+from repro.sketches.lossradar import LossRadar
+
+
+def make_flows(count, seed=0, max_size=50, id_bits=32):
+    rng = random.Random(seed)
+    flows = {}
+    while len(flows) < count:
+        flows[rng.randrange(1, 1 << id_bits)] = rng.randrange(1, max_size)
+    return flows
+
+
+def assert_identical_decodes(sketch):
+    """Scalar and vectorized decode of ``sketch`` agree on results AND state."""
+    scalar, vectorized = sketch.copy(), sketch.copy()
+    a = scalar.decode_scalar()
+    b = vectorized.decode_vectorized()
+    assert a.flows == b.flows
+    assert a.success == b.success
+    assert a.remaining == b.remaining
+    for i in range(sketch.num_arrays):
+        assert (scalar._counts[i] == vectorized._counts[i]).all()
+        assert all(
+            int(x) == int(y)
+            for x, y in zip(scalar._idsums[i], vectorized._idsums[i])
+        )
+    return a
+
+
+# --------------------------------------------------------------------------- #
+# limb arithmetic primitives
+# --------------------------------------------------------------------------- #
+class TestMersenneArithmetic:
+    @pytest.mark.parametrize("e", [13, 31, 61])
+    def test_modmul_matches_bigint(self, e):
+        p = (1 << e) - 1
+        rng = random.Random(e)
+        a = np.array([rng.randrange(p) for _ in range(200)], dtype=np.uint64)
+        b = np.array([rng.randrange(p) for _ in range(200)], dtype=np.uint64)
+        got = modmul_mersenne_u64(a, b, e)
+        expected = [(int(x) * int(y)) % p for x, y in zip(a, b)]
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("e", [13, 31, 61])
+    def test_modexp_matches_pow(self, e):
+        p = (1 << e) - 1
+        rng = random.Random(100 + e)
+        base = np.array([rng.randrange(p) for _ in range(64)], dtype=np.uint64)
+        got = modexp_mersenne_u64(base, p - 2, e)
+        expected = [pow(int(x), p - 2, p) for x in base]
+        assert got.tolist() == expected
+        # Fermat inversion really inverts the non-zero values.
+        for x, inv in zip(base.tolist(), got.tolist()):
+            if x:
+                assert (x * inv) % p == 1
+
+    def test_modexp_edge_exponents(self):
+        base = np.array([5, 7], dtype=np.uint64)
+        assert modexp_mersenne_u64(base, 0, 61).tolist() == [1, 1]
+        assert modexp_mersenne_u64(base, 1, 61).tolist() == [5, 7]
+
+    @pytest.mark.parametrize("prime", [MERSENNE_PRIME_61, MERSENNE_PRIME_127])
+    def test_modinv_batch(self, prime):
+        rng = random.Random(7)
+        values = [rng.randrange(1, prime) for _ in range(50)]
+        inverses = modinv_batch(values, prime)
+        assert all((v * i) % prime == 1 for v, i in zip(values, inverses))
+        assert modinv_batch([], prime) == []
+        with pytest.raises(ValueError):
+            modinv_batch([prime], prime)
+
+
+# --------------------------------------------------------------------------- #
+# FermatSketch: vectorized vs scalar reference
+# --------------------------------------------------------------------------- #
+class TestFermatDecodePlane:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("fingerprint_bits", [0, 8])
+    def test_roundtrip_identical(self, seed, fingerprint_bits):
+        flows = make_flows(400, seed=seed)
+        sketch = FermatSketch.for_flow_count(
+            400, load_factor=0.6, seed=seed, fingerprint_bits=fingerprint_bits
+        )
+        sketch.insert_batch(list(flows), list(flows.values()))
+        result = assert_identical_decodes(sketch)
+        if result.success:
+            assert result.flows == flows
+
+    @pytest.mark.parametrize(
+        "prime", [MERSENNE_PRIME_61, MERSENNE_PRIME_89, MERSENNE_PRIME_127]
+    )
+    def test_all_mersenne_primes(self, prime):
+        flows = make_flows(200, seed=11)
+        sketch = FermatSketch.for_flow_count(
+            200, load_factor=0.6, seed=11, prime=prime, fingerprint_bits=8
+        )
+        sketch.insert_batch(list(flows), list(flows.values()))
+        result = assert_identical_decodes(sketch)
+        if result.success:
+            assert result.flows == flows
+
+    def test_small_mersenne_prime(self):
+        # p = 2**13 - 1 forces multi-fold reductions on tiny residues.
+        flows = make_flows(40, seed=13, max_size=20, id_bits=12)
+        sketch = FermatSketch(80, prime=(1 << 13) - 1, seed=13)
+        for flow_id, size in flows.items():
+            sketch.insert(flow_id, size)
+        result = assert_identical_decodes(sketch)
+        if result.success:
+            assert result.flows == flows
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_mixed_insert_remove(self, seed):
+        flows = make_flows(300, seed=seed)
+        sketch = FermatSketch.for_flow_count(300, load_factor=0.6, seed=seed)
+        for flow_id, size in flows.items():
+            sketch.insert(flow_id, size)
+        removed = list(flows)[: len(flows) // 3]
+        for flow_id in removed:
+            sketch.remove(flow_id, flows.pop(flow_id))
+        result = assert_identical_decodes(sketch)
+        if result.success:
+            assert result.flows == flows
+
+    @pytest.mark.parametrize("fingerprint_bits", [0, 8])
+    def test_subtracted_pair_identical(self, fingerprint_bits):
+        flows = make_flows(250, seed=31)
+        up = FermatSketch.for_flow_count(
+            250, load_factor=0.5, seed=31, fingerprint_bits=fingerprint_bits
+        )
+        down = up.empty_like()
+        losses = {}
+        rng = random.Random(31)
+        for flow_id, size in flows.items():
+            up.insert(flow_id, size)
+            lost = rng.randrange(0, min(4, size + 1))
+            if lost:
+                losses[flow_id] = lost
+            if size - lost:
+                down.insert(flow_id, size - lost)
+        result = assert_identical_decodes(up - down)
+        if result.success:
+            assert result.positive_flows() == losses
+
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    @pytest.mark.parametrize("fingerprint_bits", [0, 8])
+    def test_overloaded_decode_fails_identically(self, seed, fingerprint_bits):
+        # 500 flows in 192 buckets: far above the d=3 peeling threshold.
+        flows = make_flows(500, seed=seed)
+        sketch = FermatSketch(64, seed=seed, fingerprint_bits=fingerprint_bits)
+        sketch.insert_batch(list(flows), list(flows.values()))
+        result = assert_identical_decodes(sketch)
+        assert not result.success
+        assert result.remaining > 0
+
+    def test_non_mersenne_prime_routes_to_scalar(self):
+        sketch = FermatSketch(16, prime=101, seed=1)
+        sketch.insert(7, 3)
+        sketch.insert(9, 2)
+        assert_identical_decodes(sketch)
+        assert sketch.decode().flows == {7: 3, 9: 2}
+
+    def test_empty_sketch(self):
+        result = FermatSketch(8).decode_vectorized()
+        assert result.success and result.flows == {}
+
+    def test_vectorized_is_default(self):
+        flows = make_flows(100, seed=51)
+        sketch = FermatSketch.for_flow_count(100, load_factor=0.5, seed=51)
+        sketch.insert_batch(list(flows), list(flows.values()))
+        assert sketch.decode_nondestructive().flows == flows
+        assert sketch.decode().flows == flows
+        assert sketch.is_empty()
+
+    def test_encode_trace_matches_per_packet_insert(self):
+        rng = random.Random(61)
+        packets = [rng.randrange(1, 1 << 32) for _ in range(500)]
+        batched = FermatSketch(256, seed=61, fingerprint_bits=8)
+        batched.encode_trace(packets)
+        scalar = batched.empty_like()
+        for flow_id in packets:
+            scalar.insert(flow_id)
+        for i in range(batched.num_arrays):
+            assert (batched._counts[i] == scalar._counts[i]).all()
+            assert all(
+                int(x) == int(y)
+                for x, y in zip(batched._idsums[i], scalar._idsums[i])
+            )
+
+    def test_encode_trace_wide_ids(self):
+        sketch = FermatSketch(32, prime=MERSENNE_PRIME_127)
+        wide = (1 << 100) + 5
+        sketch.encode_trace([wide, wide, 9])
+        assert sketch.decode().flows == {wide: 2, 9: 1}
+
+
+# --------------------------------------------------------------------------- #
+# FlowRadar / LossRadar: vectorized vs scalar reference
+# --------------------------------------------------------------------------- #
+class TestFlowRadarDecodePlane:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_roundtrip_identical(self, seed):
+        flows = make_flows(400, seed=seed, max_size=40)
+        radar = FlowRadar(2000, seed=seed)
+        for flow_id, size in flows.items():
+            radar.insert(flow_id, size)
+        a, b = radar.decode_scalar(), radar.decode()
+        assert a.flows == b.flows
+        assert (a.success, a.remaining) == (b.success, b.remaining)
+        if a.success:
+            assert a.flows == flows
+
+    def test_overloaded_identical(self):
+        flows = make_flows(200, seed=4)
+        radar = FlowRadar(60, seed=4)
+        for flow_id, size in flows.items():
+            radar.insert(flow_id, size)
+        a, b = radar.decode_scalar(), radar.decode()
+        assert a.flows == b.flows
+        assert (a.success, a.remaining) == (b.success, b.remaining)
+        assert not a.success
+
+    def test_decode_is_nondestructive(self):
+        radar = FlowRadar(100, seed=5)
+        radar.insert(42, 7)
+        assert radar.decode().flows == {42: 7}
+        assert radar.decode().flows == {42: 7}
+
+    def test_wide_flow_id_rejected(self):
+        radar = FlowRadar(100, seed=6)
+        with pytest.raises(ValueError):
+            radar.insert(1 << 64, 1)
+
+
+class TestLossRadarDecodePlane:
+    def test_insert_paths_bit_identical(self):
+        flows = make_flows(300, seed=7, max_size=30)
+        per_packet = LossRadar(4000, seed=7)
+        batched_insert = LossRadar(4000, seed=7)
+        batch = LossRadar(4000, seed=7)
+        for flow_id, size in flows.items():
+            for sequence in range(size):
+                per_packet.insert_packet(flow_id, sequence)
+            batched_insert.insert(flow_id, size)
+        batch.insert_batch(list(flows), list(flows.values()))
+        for other in (batched_insert, batch):
+            assert (per_packet._count == other._count).all()
+            assert (per_packet._xorsum == other._xorsum).all()
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_subtracted_pair_identical(self, seed):
+        flows = make_flows(300, seed=seed, max_size=30)
+        rng = random.Random(seed)
+        up = LossRadar(3000, seed=seed)
+        down = LossRadar(3000, seed=seed)
+        losses = {}
+        for flow_id, size in flows.items():
+            up.insert(flow_id, size)
+            lost = rng.randrange(0, min(4, size + 1))
+            if lost:
+                losses[flow_id] = lost
+            kept = sorted(rng.sample(range(size), size - lost))
+            if kept:
+                down.insert_packets([flow_id] * len(kept), kept)
+        delta = up - down
+        a, b = delta.decode_scalar(), delta.decode()
+        assert a.flows == b.flows
+        assert (a.success, a.remaining) == (b.success, b.remaining)
+        if a.success:
+            assert a.flows == losses
+
+    def test_overloaded_identical(self):
+        meter = LossRadar(90, seed=10)
+        meter.insert_batch(list(make_flows(80, seed=10)), [5] * 80)
+        a, b = meter.decode_scalar(), meter.decode()
+        assert a.flows == b.flows
+        assert (a.success, a.remaining) == (b.success, b.remaining)
+        assert not a.success
+
+    def test_wide_flow_id_rejected(self):
+        meter = LossRadar(100, seed=11)
+        with pytest.raises(ValueError):
+            meter.insert(1 << 48, 1)
+        with pytest.raises(ValueError):
+            meter.insert_packets([1 << 48], [0])
+
+    def test_sequence_wrap_matches_scalar(self):
+        # Counts past 2**16 wrap the 16-bit sequence field; the vectorized
+        # insert paths must reproduce packet_identifier's wrap exactly.
+        count = (1 << 16) + 300
+        vector_insert = LossRadar(512, seed=12)
+        vector_insert.insert(777, count)
+        batch = LossRadar(512, seed=12)
+        batch.insert_batch([777], [count])
+        scalar = LossRadar(512, seed=12)
+        for sequence in range(count):
+            scalar.insert_packet(777, sequence)
+        for other in (vector_insert, batch):
+            assert (scalar._count == other._count).all()
+            assert (scalar._xorsum == other._xorsum).all()
+
+
+# --------------------------------------------------------------------------- #
+# control-plane analysis: destructive fast path
+# --------------------------------------------------------------------------- #
+def _collect_groups(seed=3, num_flows=300):
+    from repro.dataplane.config import SwitchResources
+    from repro.network.simulator import build_testbed_simulator
+    from repro.traffic.generator import generate_workload
+
+    simulator = build_testbed_simulator(
+        resources=SwitchResources.scaled(0.05), seed=seed
+    )
+    trace = generate_workload(
+        "DCTCP",
+        num_flows=num_flows,
+        victim_ratio=0.1,
+        loss_rate=0.05,
+        num_hosts=simulator.topology.num_hosts,
+        seed=seed,
+    )
+    truth = simulator.run_epoch(trace)
+    groups = {node: switch.end_epoch() for node, switch in simulator.switches.items()}
+    return groups, truth
+
+
+class TestDestructiveAnalysis:
+    def test_destructive_report_identical(self):
+        groups_a, truth = _collect_groups()
+        groups_b, _ = _collect_groups()
+        copied = packet_loss_detection(groups_a, destructive=False)
+        in_place = packet_loss_detection(groups_b, destructive=True)
+        assert copied.all_losses() == in_place.all_losses()
+        assert copied.heavy_losses == in_place.heavy_losses
+        assert copied.light_losses == in_place.light_losses
+        assert copied.analysis_completed == in_place.analysis_completed
+        assert copied.hl_decode_success == in_place.hl_decode_success
+        assert {k: d.flowset for k, d in copied.hh_decodes.items()} == {
+            k: d.flowset for k, d in in_place.hh_decodes.items()
+        }
+        assert copied.all_losses() == truth.losses
+
+    def test_nondestructive_leaves_hh_encoders_intact(self):
+        groups, _ = _collect_groups()
+        packet_loss_detection(groups, destructive=False)
+        # A second pass over the same groups must reproduce the same result.
+        again = packet_loss_detection(groups, destructive=False)
+        assert again.analysis_completed
+
+    def test_decode_ms_reported(self):
+        groups, _ = _collect_groups()
+        report = packet_loss_detection(groups)
+        assert report.decode_ms > 0.0
+
+
+class TestStreamDecodeTelemetry:
+    def test_epoch_records_carry_decode_ms(self):
+        from repro.stream import MemorySink, Phase, StreamingEngine, SyntheticSource
+        from repro.dataplane.config import SwitchResources
+
+        sink = MemorySink()
+        engine = StreamingEngine(
+            SyntheticSource(phases=(Phase(epochs=2, num_flows=150),), seed=5),
+            sinks=[sink],
+            resources=SwitchResources.scaled(0.05),
+            seed=5,
+        )
+        engine.run()
+        assert len(sink.records) == 2
+        for record in sink.records:
+            assert record["decode_ms"] >= 0.0
+            assert record["decode_ms"] <= record["wall_ms"]
