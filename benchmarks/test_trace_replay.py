@@ -1,0 +1,217 @@
+"""Trace-plane benchmark: columnar generation + zero-copy binary replay.
+
+Two claims are demonstrated on a 100k-flow epoch (scaled by ``REPRO_SCALE``):
+
+* the column-backed pipeline — vectorized generation plus mmap-backed binary
+  replay — is at least **5x** faster end to end than the retained row-object
+  path (per-flow generation plus JSONL parse-and-replay), and
+* binary replay runs in **O(epoch)** heap: the peak traced allocation while
+  streaming a many-epoch store stays bounded by a single epoch's columns, not
+  the file size.
+
+Results are written to ``BENCH_trace_replay.json`` so replay throughput can
+be tracked across commits, alongside the three existing perf artifacts.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+
+import conftest
+
+from repro.stream.sources import TraceFileSource, write_trace_file
+from repro.traffic.generator import generate_workload
+
+#: Minimum end-to-end speedup (columns+binary vs rows+JSONL) at full scale.
+MIN_PIPELINE_SPEEDUP = 5.0
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_trace_replay.json",
+)
+
+
+def _consume(trace) -> int:
+    """Touch every column the analysis plane reads (forces mmap page reads)."""
+    columns = trace.columns()
+    total = int(columns.sizes.sum()) if len(columns) else 0
+    total += int(columns.lost_packets.sum()) if len(columns) else 0
+    total += int(columns.is_victim.sum()) if len(columns) else 0
+    return total
+
+
+def _replay(path: str) -> tuple:
+    """(seconds, epochs, checksum) for one full pass over a trace file."""
+    start = time.perf_counter()
+    epochs = 0
+    checksum = 0
+    for trace in TraceFileSource(path).epochs():
+        checksum += _consume(trace)
+        epochs += 1
+    return time.perf_counter() - start, epochs, checksum
+
+
+def _rss_mb() -> float:
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return 0.0
+
+
+def test_columnar_pipeline_speedup(tmp_path):
+    num_flows = conftest.scaled(100_000)
+    jsonl = str(tmp_path / "epoch.jsonl")
+    binary = str(tmp_path / "epoch.rtbin")
+
+    # --- generation: vectorized columns vs per-flow row objects ---------- #
+    start = time.perf_counter()
+    rows_trace = generate_workload(
+        "DCTCP", num_flows=num_flows, victim_ratio=0.05, seed=1, backend="rows"
+    )
+    gen_rows_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cols_trace = generate_workload(
+        "DCTCP", num_flows=num_flows, victim_ratio=0.05, seed=1, backend="columns"
+    )
+    gen_cols_s = time.perf_counter() - start
+
+    # --- replay: JSONL parse loop vs zero-copy binary views -------------- #
+    start = time.perf_counter()
+    write_trace_file(jsonl, [rows_trace])
+    write_jsonl_s = time.perf_counter() - start
+    start = time.perf_counter()
+    write_trace_file(binary, [cols_trace])
+    write_binary_s = time.perf_counter() - start
+
+    replay_jsonl_s, _, jsonl_sum = _replay(jsonl)
+    replay_binary_s, _, binary_sum = _replay(binary)
+    assert jsonl_sum > 0 and binary_sum > 0
+
+    row_pipeline_s = gen_rows_s + replay_jsonl_s
+    col_pipeline_s = gen_cols_s + replay_binary_s
+    speedup = row_pipeline_s / max(col_pipeline_s, 1e-9)
+
+    conftest.print_table(
+        "Trace plane: row-object vs columnar pipeline (one epoch)",
+        ["flows", "stage", "rows+jsonl (s)", "columns+binary (s)"],
+        [
+            [num_flows, "generate", f"{gen_rows_s:.3f}", f"{gen_cols_s:.3f}"],
+            ["", "write", f"{write_jsonl_s:.3f}", f"{write_binary_s:.3f}"],
+            ["", "replay", f"{replay_jsonl_s:.3f}", f"{replay_binary_s:.3f}"],
+            ["", "generate+replay", f"{row_pipeline_s:.3f}",
+             f"{col_pipeline_s:.3f} ({speedup:.1f}x)"],
+        ],
+    )
+
+    result = {
+        "benchmark": "trace_replay",
+        "flows": num_flows,
+        "scale": conftest.SCALE,
+        "generate_rows_seconds": gen_rows_s,
+        "generate_columns_seconds": gen_cols_s,
+        "write_jsonl_seconds": write_jsonl_s,
+        "write_binary_seconds": write_binary_s,
+        "replay_jsonl_seconds": replay_jsonl_s,
+        "replay_binary_seconds": replay_binary_s,
+        "pipeline_speedup": speedup,
+        "jsonl_bytes": os.path.getsize(jsonl),
+        "binary_bytes": os.path.getsize(binary),
+    }
+    _merge_artifact(result)
+
+    required = MIN_PIPELINE_SPEEDUP if conftest.SCALE >= 1.0 else 3.0
+    assert speedup >= required, (
+        f"columnar pipeline only {speedup:.1f}x faster than the row-object "
+        f"path (required {required:.0f}x at scale {conftest.SCALE})"
+    )
+
+
+def test_binary_replay_throughput_and_memory(tmp_path):
+    """Replay throughput (epochs/s) and the O(epoch) peak-heap bound."""
+    epochs = 20
+    flows_per_epoch = conftest.scaled(20_000)
+    jsonl = str(tmp_path / "stream.jsonl")
+    binary = str(tmp_path / "stream.rtbin")
+    traces = [
+        generate_workload("DCTCP", num_flows=flows_per_epoch, victim_ratio=0.05,
+                          seed=epoch, use_five_tuple=False)
+        for epoch in range(epochs)
+    ]
+    write_trace_file(jsonl, traces)
+    write_trace_file(binary, traces)
+    del traces
+
+    replay_jsonl_s, jsonl_epochs, _ = _replay(jsonl)
+    # Peak traced heap during the binary pass: numpy allocations are tracked,
+    # so an O(file) implementation (loading all epochs) would blow the bound.
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    replay_binary_s, binary_epochs, _ = _replay(binary)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert jsonl_epochs == binary_epochs == epochs
+    jsonl_eps = epochs / max(replay_jsonl_s, 1e-9)
+    binary_eps = epochs / max(replay_binary_s, 1e-9)
+
+    # One epoch's columns: 5 int64 + 1 float64 + 1 bool ≈ 49 bytes per flow.
+    epoch_bytes = flows_per_epoch * 49
+    file_bytes = os.path.getsize(binary)
+    # O(epoch) bound: well under the file size, within a small multiple of a
+    # single epoch (slack for interpreter noise and per-epoch scratch).
+    bound = max(4 * epoch_bytes, 4 << 20)
+    rss_mb = _rss_mb()
+
+    conftest.print_table(
+        "Binary vs JSONL replay (20 epochs)",
+        ["format", "epochs/s", "seconds", "peak heap (MB)"],
+        [
+            ["jsonl", f"{jsonl_eps:.1f}", f"{replay_jsonl_s:.3f}", "-"],
+            ["binary", f"{binary_eps:.1f}", f"{replay_binary_s:.3f}",
+             f"{peak_bytes / 1e6:.1f}"],
+        ],
+    )
+
+    result = {
+        "replay_epochs": epochs,
+        "flows_per_epoch": flows_per_epoch,
+        "jsonl_epochs_per_second": jsonl_eps,
+        "binary_epochs_per_second": binary_eps,
+        "binary_peak_heap_bytes": peak_bytes,
+        "binary_heap_bound_bytes": bound,
+        "binary_file_bytes": file_bytes,
+        "rss_mb": rss_mb,
+    }
+    _merge_artifact(result)
+
+    assert binary_eps > jsonl_eps, (
+        f"binary replay ({binary_eps:.1f} epochs/s) not faster than JSONL "
+        f"({jsonl_eps:.1f} epochs/s)"
+    )
+    assert peak_bytes < bound, (
+        f"binary replay peaked at {peak_bytes / 1e6:.1f} MB traced heap — "
+        f"exceeds the O(epoch) bound of {bound / 1e6:.1f} MB "
+        f"(file is {file_bytes / 1e6:.1f} MB)"
+    )
+
+
+def _merge_artifact(payload: dict) -> None:
+    """Accumulate both tests' results into one BENCH_trace_replay.json."""
+    existing = {}
+    if os.path.exists(ARTIFACT_PATH):
+        try:
+            with open(ARTIFACT_PATH) as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(payload)
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
+    print(f"perf artifact written to {ARTIFACT_PATH}")

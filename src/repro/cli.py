@@ -653,6 +653,106 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    from .stream.sources import TraceFileSource, _infer_format, write_trace_file
+
+    try:
+        source_format = _infer_format(args.source)
+        dest_format = _infer_format(args.dest)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not os.path.exists(args.source):
+        print(f"error: no such trace file: {args.source}", file=sys.stderr)
+        return 2
+    source = TraceFileSource(args.source, flows_per_epoch=args.flows_per_epoch)
+    epochs = write_trace_file(args.dest, source.epochs())
+    if not args.quiet:
+        print(
+            f"converted {args.source} ({source_format}) -> {args.dest} "
+            f"({dest_format}): {epochs} epochs"
+        )
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from .stream.sources import TraceFileSource, _infer_format
+    from .traffic.store import TraceFormatError, inspect_binary_trace
+
+    if not os.path.exists(args.path):
+        print(f"error: no such trace file: {args.path}", file=sys.stderr)
+        return 2
+    try:
+        fmt = _infer_format(args.path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if fmt == "binary":
+            summary = inspect_binary_trace(args.path)
+        else:
+            # Text formats have no manifest: stream the epochs and aggregate.
+            summary = {
+                "path": args.path,
+                "format": fmt,
+                "epochs": 0,
+                "flows": 0,
+                "packets": 0,
+                "lost_packets": 0,
+                "victims": 0,
+                "wide_epochs": 0,
+                "file_bytes": os.path.getsize(args.path),
+            }
+            source = TraceFileSource(args.path, flows_per_epoch=args.flows_per_epoch)
+            columns_summary = {}
+            for trace in source.epochs():
+                columns = trace.columns()
+                summary["epochs"] += 1
+                summary["flows"] += len(columns)
+                summary["packets"] += trace.num_packets()
+                summary["lost_packets"] += trace.total_losses()
+                summary["victims"] += trace.num_victims()
+                summary["wide_epochs"] += 1 if columns.wide_ids else 0
+                columns_summary = {
+                    "flow_id": "object" if columns.wide_ids else str(columns.flow_ids.dtype),
+                    "size": str(columns.sizes.dtype),
+                    "src_host": str(columns.src_hosts.dtype),
+                    "dst_host": str(columns.dst_hosts.dtype),
+                    "is_victim": str(columns.is_victim.dtype),
+                    "loss_rate": str(columns.loss_rate.dtype),
+                    "lost_packets": str(columns.lost_packets.dtype),
+                }
+            summary["columns"] = columns_summary
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if getattr(args, "json_out", None):
+        payload = json.dumps(summary, indent=2)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json_out}")
+        return 0
+    print(f"path:         {summary['path']}")
+    print(f"format:       {summary['format']}")
+    if "version" in summary:
+        print(f"version:      {summary['version']}")
+    print(f"epochs:       {summary['epochs']}")
+    print(f"flows:        {summary['flows']}")
+    print(f"packets:      {summary['packets']}")
+    print(f"lost packets: {summary['lost_packets']}")
+    print(f"victims:      {summary['victims']}")
+    print(f"wide epochs:  {summary['wide_epochs']} (104-bit five-tuple IDs)")
+    print(f"file bytes:   {summary['file_bytes']}")
+    if summary.get("columns"):
+        print("columns:")
+        for name, dtype in summary["columns"].items():
+            print(f"  {name:<14} {dtype}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -802,6 +902,38 @@ def build_parser() -> argparse.ArgumentParser:
                      default=argparse.SUPPRESS)
     sub.add_argument("--epochs", type=int, default=argparse.SUPPRESS)
     sub.set_defaults(handler=cmd_demo)
+
+    sub = subparsers.add_parser(
+        "trace",
+        help="inspect and convert trace files (.rtbin binary, .jsonl, .csv)",
+    )
+    trace_sub = sub.add_subparsers(dest="trace_command", required=True)
+
+    convert = trace_sub.add_parser(
+        "convert",
+        help="convert a trace file between the binary epoch store and JSONL/CSV",
+    )
+    convert.add_argument("source", help="input trace (.rtbin, .jsonl, or .csv)")
+    convert.add_argument("dest", help="output trace; format inferred from extension")
+    convert.add_argument(
+        "--flows-per-epoch", type=int, dest="flows_per_epoch",
+        help="epoch size for text inputs without an 'epoch' column",
+    )
+    convert.add_argument("--quiet", action="store_true")
+    convert.set_defaults(handler=cmd_trace_convert)
+
+    inspect = trace_sub.add_parser(
+        "inspect",
+        help="summarize a trace file: epochs, flow/packet totals, column dtypes",
+    )
+    inspect.add_argument("path")
+    inspect.add_argument(
+        "--flows-per-epoch", type=int, dest="flows_per_epoch",
+        help="epoch size for text inputs without an 'epoch' column",
+    )
+    inspect.add_argument("--json", dest="json_out", metavar="PATH",
+                         help="write the summary as JSON ('-' for stdout)")
+    inspect.set_defaults(handler=cmd_trace_inspect)
 
     return parser
 

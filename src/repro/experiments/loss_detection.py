@@ -55,12 +55,16 @@ def _lost_sequences(trace: Trace, seed: int) -> Dict[int, List[int]]:
 
     rng = random.Random(seed)
     lost: Dict[int, List[int]] = {}
-    for flow in trace.flows:
-        if flow.lost_packets <= 0:
+    columns = trace.columns()
+    flow_ids = columns.flow_ids.tolist()
+    sizes = columns.sizes.tolist()
+    lost_packets = columns.lost_packets.tolist()
+    for index, flow_id in enumerate(flow_ids):
+        if lost_packets[index] <= 0:
             continue
-        population = min(flow.size, 1 << SEQUENCE_BITS)
-        count = min(flow.lost_packets, population)
-        lost[flow.flow_id] = sorted(rng.sample(range(population), count))
+        population = min(sizes[index], 1 << SEQUENCE_BITS)
+        count = min(lost_packets[index], population)
+        lost[int(flow_id)] = sorted(rng.sample(range(population), count))
     return lost
 
 
@@ -70,11 +74,13 @@ def _lost_sequences(trace: Trace, seed: int) -> Dict[int, List[int]]:
 def _run_fermat(trace: Trace, buckets_per_array: int, seed: int) -> Tuple[bool, float, Dict[int, int]]:
     upstream = build("fermat", buckets_per_array=buckets_per_array, seed=seed)
     downstream = upstream.empty_like()
-    for flow in trace.flows:
-        upstream.insert(flow.flow_id, flow.size)
-        delivered = flow.size - flow.lost_packets
-        if delivered > 0:
-            downstream.insert(flow.flow_id, delivered)
+    # Column-native encode: insert_batch is bit-identical to scalar inserts.
+    columns = trace.columns()
+    upstream.insert_batch(columns.flow_ids, columns.sizes)
+    delivered = columns.sizes - columns.lost_packets
+    mask = delivered > 0
+    if mask.any():
+        downstream.insert_batch(columns.flow_ids[mask], delivered[mask])
     delta = upstream - downstream
     start = time.perf_counter()
     result = delta.decode()
@@ -85,11 +91,16 @@ def _run_fermat(trace: Trace, buckets_per_array: int, seed: int) -> Tuple[bool, 
 def _run_flowradar(trace: Trace, num_cells: int, seed: int) -> Tuple[bool, float, Dict[int, int]]:
     upstream = build("flowradar", num_cells=num_cells, seed=seed)
     downstream = build("flowradar", num_cells=num_cells, seed=seed)
-    for flow in trace.flows:
-        upstream.insert(flow.flow_id, flow.size)
-        delivered = flow.size - flow.lost_packets
+    columns = trace.columns()
+    flow_ids = columns.flow_ids.tolist()
+    sizes = columns.sizes.tolist()
+    lost_packets = columns.lost_packets.tolist()
+    for index, flow_id in enumerate(flow_ids):
+        flow_id = int(flow_id)
+        upstream.insert(flow_id, sizes[index])
+        delivered = sizes[index] - lost_packets[index]
         if delivered > 0:
-            downstream.insert(flow.flow_id, delivered)
+            downstream.insert(flow_id, delivered)
     start = time.perf_counter()
     up = upstream.decode()
     down = downstream.decode()

@@ -16,7 +16,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..traffic.flow import FlowRecord, Trace
+import numpy as np
+
+from ..traffic.flow import Trace
 from ..traffic.generator import sample_binomial
 from .routing import EcmpRouter
 from .topology import FatTreeTopology, NodeId
@@ -91,37 +93,38 @@ def apply_faults(
     router = router or EcmpRouter(topology, seed=seed)
     rng = random.Random(seed)
     faults = list(faults)
-    new_flows: List[FlowRecord] = []
-    for flow in trace.flows:
-        src = flow.src_host if flow.src_host is not None else 0
-        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % topology.num_hosts
-        path = router.path_for_flow(flow.flow_id, src, dst)
+    columns = trace.columns()
+    num_flows = len(columns)
+    flow_ids = [int(i) for i in columns.flow_ids.tolist()]
+    sizes = columns.sizes.tolist()
+    srcs = columns.src_hosts.tolist()
+    dsts = columns.dst_hosts.tolist()
+    is_victim = np.zeros(num_flows, dtype=bool)
+    loss_rates = np.zeros(num_flows, dtype=np.float64)
+    lost_packets = np.zeros(num_flows, dtype=np.int64)
+    num_hosts = topology.num_hosts
+    for index in range(num_flows):
+        flow_id = flow_ids[index]
+        src = srcs[index] if srcs[index] >= 0 else 0
+        dst = dsts[index] if dsts[index] >= 0 else (src + 1) % num_hosts
+        path = router.path_for_flow(flow_id, src, dst)
         survival = 1.0
         for fault in faults:
             if isinstance(fault, RandomBlackhole):
-                if fault.affects_flow(flow.flow_id):
+                if fault.affects_flow(flow_id):
                     survival *= 1.0 - fault.loss_rate
             elif fault.affects(path):
                 survival *= 1.0 - fault.loss_rate
         loss_rate = 1.0 - survival
         if loss_rate <= 0.0:
-            new_flows.append(
-                FlowRecord(flow.flow_id, flow.size, flow.src_host, flow.dst_host)
-            )
             continue
-        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, loss_rate)))
-        new_flows.append(
-            FlowRecord(
-                flow_id=flow.flow_id,
-                size=flow.size,
-                src_host=flow.src_host,
-                dst_host=flow.dst_host,
-                is_victim=True,
-                loss_rate=loss_rate,
-                lost_packets=lost,
-            )
+        size = sizes[index]
+        is_victim[index] = True
+        loss_rates[index] = loss_rate
+        lost_packets[index] = max(
+            1, min(size, sample_binomial(rng, size, loss_rate))
         )
-    return Trace(flows=new_flows)
+    return Trace(columns=columns.with_loss_state(is_victim, loss_rates, lost_packets))
 
 
 def victims_by_cause(
@@ -139,14 +142,19 @@ def victims_by_cause(
     router = router or EcmpRouter(topology, seed=seed)
     faults = list(faults)
     result: Dict[int, List[int]] = {index: [] for index in range(len(faults))}
-    for flow in trace.flows:
-        src = flow.src_host if flow.src_host is not None else 0
-        dst = flow.dst_host if flow.dst_host is not None else (src + 1) % topology.num_hosts
-        path = router.path_for_flow(flow.flow_id, src, dst)
+    columns = trace.columns()
+    flow_ids = [int(i) for i in columns.flow_ids.tolist()]
+    srcs = columns.src_hosts.tolist()
+    dsts = columns.dst_hosts.tolist()
+    num_hosts = topology.num_hosts
+    for position, flow_id in enumerate(flow_ids):
+        src = srcs[position] if srcs[position] >= 0 else 0
+        dst = dsts[position] if dsts[position] >= 0 else (src + 1) % num_hosts
+        path = router.path_for_flow(flow_id, src, dst)
         for index, fault in enumerate(faults):
             if isinstance(fault, RandomBlackhole):
-                if fault.affects_flow(flow.flow_id):
-                    result[index].append(flow.flow_id)
+                if fault.affects_flow(flow_id):
+                    result[index].append(flow_id)
             elif fault.affects(path):
-                result[index].append(flow.flow_id)
+                result[index].append(flow_id)
     return result

@@ -200,7 +200,7 @@ class NetworkSimulator:
 
         truth = EpochTruth()
         columns = trace.columns()
-        num_flows = len(trace.flows)
+        num_flows = len(columns)
         if num_flows == 0:
             return truth
         num_hosts = self.topology.num_hosts
@@ -283,7 +283,7 @@ class NetworkSimulator:
                     hl_all[position] = count
                 else:
                     ll_all[position] = count
-            flow_id = int(trace.flows[position].flow_id)
+            flow_id = int(flow_ids[position])
             losses[flow_id] = losses.get(flow_id, 0) + lost
         # Downstream: one batch per egress switch, pre-grouped per hierarchy.
         sll_mask_all = sampled_all & (ll_all > 0)

@@ -304,8 +304,8 @@ def _fig10_success_rate(
             seed=trial,
             fingerprint_bits=fingerprint_bits,
         )
-        for flow in trace.flows:
-            sketch.insert(flow.flow_id, flow.size)
+        columns = trace.columns()
+        sketch.insert_batch(columns.flow_ids, columns.sizes)
         if sketch.decode().success:
             successes += 1
     return successes / trials
@@ -650,8 +650,8 @@ def ablation_fermat_point(params: Dict[str, Any], seed: int) -> List[Dict[str, A
                 sketch = build(
                     "fermat", buckets_per_array=per_array, num_arrays=num_arrays, seed=trial
                 )
-                for flow in trace.flows:
-                    sketch.insert(flow.flow_id, flow.size)
+                columns = trace.columns()
+                sketch.insert_batch(columns.flow_ids, columns.sizes)
                 if not sketch.decode().success:
                     ok = False
                     break
@@ -678,8 +678,8 @@ def ablation_fermat_point(params: Dict[str, Any], seed: int) -> List[Dict[str, A
             sketch = FermatSketch.for_flow_count(
                 num_flows, load_factor=load_factor, seed=trial, fingerprint_bits=8
             )
-            for flow in load_trace.flows:
-                sketch.insert(flow.flow_id, flow.size)
+            load_columns = load_trace.columns()
+            sketch.insert_batch(load_columns.flow_ids, load_columns.sizes)
             if sketch.decode().success:
                 successes += 1
         rows.append(

@@ -24,10 +24,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..network.faults import LinkFailure
 from ..network.routing import EcmpRouter
 from ..network.topology import FatTreeTopology, NodeId
-from ..traffic.flow import FlowRecord, Trace
+from ..traffic.flow import Trace, TraceColumns
 from ..traffic.generator import generate_workload, sample_binomial
 
 
@@ -138,24 +140,46 @@ class NetworkConditions:
 
     # ------------------------------------------------------------------ #
     def transform(self, trace: Trace, epoch: int) -> Trace:
-        """Apply bursts, loss-phase shifts, and active faults to one epoch."""
+        """Apply bursts, loss-phase shifts, and active faults to one epoch.
+
+        Column-native: burst traffic is concatenated column-wise and the loss
+        overlays rewrite the victim/loss columns of a fresh copy — the input
+        trace (possibly a frozen mmap view from the binary epoch store) is
+        never mutated.  RNG draw order matches the historical row-by-row
+        implementation exactly: one :func:`sample_binomial` draw per affected
+        flow, in trace order, shifts before fault overlays.
+        """
         if (
             not self._bursts
             and self.loss_rate_override is None
             and not self.active_faults
         ):
             return trace
-        flows = list(trace.flows)
         rng = random.Random((self.seed << 20) ^ (epoch * 2 + 1))
-        flows.extend(self._burst_flows(epoch))
+        parts = [trace.columns()] + self._burst_columns(epoch)
+        columns = TraceColumns.concat(parts) if len(parts) > 1 else parts[0]
+        is_victim = columns.is_victim.copy()
+        loss_rate = columns.loss_rate.copy()
+        lost_packets = columns.lost_packets.copy()
+        sizes = columns.sizes.tolist()
         if self.loss_rate_override is not None:
-            flows = [self._shift_loss(flow, rng) for flow in flows]
+            rate = self.loss_rate_override
+            for index in np.nonzero(is_victim)[0].tolist():
+                size = sizes[index]
+                loss_rate[index] = rate
+                lost_packets[index] = max(
+                    1, min(size, sample_binomial(rng, size, rate))
+                )
         if self.active_faults:
-            flows = [self._overlay_faults(flow, rng) for flow in flows]
-        return Trace(flows=flows)
+            self._overlay_faults_columns(
+                columns, is_victim, loss_rate, lost_packets, sizes, rng
+            )
+        return Trace(
+            columns=columns.with_loss_state(is_victim, loss_rate, lost_packets)
+        )
 
-    def _burst_flows(self, epoch: int) -> List[FlowRecord]:
-        extra: List[FlowRecord] = []
+    def _burst_columns(self, epoch: int) -> List[TraceColumns]:
+        extra: List[TraceColumns] = []
         for entry in self._bursts:
             remaining, event = entry
             if remaining <= 0:
@@ -168,27 +192,20 @@ class NetworkConditions:
                 num_hosts=self.topology.num_hosts,
                 seed=(self.seed << 16) ^ (event.epoch << 8) ^ epoch,
             )
-            extra.extend(burst.flows)
+            extra.append(burst.columns())
             entry[0] = remaining - 1
         self._bursts = [entry for entry in self._bursts if entry[0] > 0]
         return extra
 
-    def _shift_loss(self, flow: FlowRecord, rng: random.Random) -> FlowRecord:
-        if not flow.is_victim:
-            return flow
-        rate = self.loss_rate_override
-        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, rate)))
-        return FlowRecord(
-            flow_id=flow.flow_id,
-            size=flow.size,
-            src_host=flow.src_host,
-            dst_host=flow.dst_host,
-            is_victim=True,
-            loss_rate=rate,
-            lost_packets=lost,
-        )
-
-    def _overlay_faults(self, flow: FlowRecord, rng: random.Random) -> FlowRecord:
+    def _overlay_faults_columns(
+        self,
+        columns: TraceColumns,
+        is_victim: np.ndarray,
+        loss_rate: np.ndarray,
+        lost_packets: np.ndarray,
+        sizes: List[int],
+        rng: random.Random,
+    ) -> None:
         """Add fault-induced losses *on top of* source-assigned victim losses.
 
         Unlike :func:`repro.network.faults.apply_faults` (which rewrites a
@@ -196,29 +213,26 @@ class NetworkConditions:
         the source's ECN-style victims and compounds every crossing fault's
         loss rate into the flow's survival probability.
         """
-        src = flow.src_host if flow.src_host is not None else 0
-        dst = (
-            flow.dst_host
-            if flow.dst_host is not None
-            else (src + 1) % self.topology.num_hosts
-        )
-        path = self.router.path_for_flow(flow.flow_id, src, dst)
-        survival = 1.0 - flow.loss_rate if flow.is_victim else 1.0
-        crossed = False
-        for fault in self.active_faults:
-            if fault.affects(path):
-                survival *= 1.0 - fault.loss_rate
-                crossed = True
-        if not crossed:
-            return flow
-        loss_rate = 1.0 - survival
-        lost = max(1, min(flow.size, sample_binomial(rng, flow.size, loss_rate)))
-        return FlowRecord(
-            flow_id=flow.flow_id,
-            size=flow.size,
-            src_host=flow.src_host,
-            dst_host=flow.dst_host,
-            is_victim=True,
-            loss_rate=loss_rate,
-            lost_packets=lost,
-        )
+        flow_ids = [int(i) for i in columns.flow_ids.tolist()]
+        srcs = columns.src_hosts.tolist()
+        dsts = columns.dst_hosts.tolist()
+        num_hosts = self.topology.num_hosts
+        for index, flow_id in enumerate(flow_ids):
+            src = srcs[index] if srcs[index] >= 0 else 0
+            dst = dsts[index] if dsts[index] >= 0 else (src + 1) % num_hosts
+            path = self.router.path_for_flow(flow_id, src, dst)
+            survival = 1.0 - loss_rate[index] if is_victim[index] else 1.0
+            crossed = False
+            for fault in self.active_faults:
+                if fault.affects(path):
+                    survival *= 1.0 - fault.loss_rate
+                    crossed = True
+            if not crossed:
+                continue
+            size = sizes[index]
+            rate = 1.0 - survival
+            is_victim[index] = True
+            loss_rate[index] = rate
+            lost_packets[index] = max(
+                1, min(size, sample_binomial(rng, size, rate))
+            )

@@ -10,7 +10,11 @@ Three families of sources cover the streaming scenarios:
 * :class:`SyntheticSource` — phase-scheduled synthetic workloads whose flow
   count, victim ratio, loss rate, and size distribution change mid-stream
   (the live analogue of the Figure 9 schedule);
-* :class:`TraceFileSource` — JSONL/CSV trace-file replay, read line by line;
+* :class:`TraceFileSource` — trace-file replay.  The binary epoch store
+  (``.rtbin``, :mod:`repro.traffic.store`) replays with **zero parsing**:
+  epochs are read-only mmap views handed straight to the columnar pipeline.
+  JSONL/CSV remain supported as convert-on-ingest formats, parsed row by row
+  into per-epoch columns;
 * :class:`MergeSource` — several sources interleaved over one fabric
   (multi-tenant traffic sharing the monitored network).
 
@@ -27,8 +31,16 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..traffic.flow import FlowRecord, Trace
+import numpy as np
+
+from ..traffic.flow import FlowRecord, Trace, TraceColumns, pack_flow_ids
 from ..traffic.generator import generate_workload
+from ..traffic.store import (
+    BINARY_EXTENSIONS,
+    BinaryTraceReader,
+    is_binary_trace,
+    write_binary_trace,
+)
 
 
 class TraceSource:
@@ -172,16 +184,22 @@ TRACE_FIELDS = (
 )
 
 
-def _record_to_row(epoch: int, flow: FlowRecord) -> dict:
+def _record_to_row(epoch: int, flow) -> dict:
+    # Coerce to plain Python scalars: rows now come from NumPy-backed column
+    # views, and np.uint64 / np.bool_ leak through json.dumps (TypeError) or
+    # serialize in forms that do not round-trip.  int() also keeps packed
+    # 104-bit 5-tuple IDs exact (object-dtype columns hold Python ints).
+    src_host = flow.src_host
+    dst_host = flow.dst_host
     return {
-        "epoch": epoch,
-        "flow_id": flow.flow_id,
-        "size": flow.size,
-        "src_host": flow.src_host,
-        "dst_host": flow.dst_host,
-        "is_victim": flow.is_victim,
-        "loss_rate": flow.loss_rate,
-        "lost_packets": flow.lost_packets,
+        "epoch": int(epoch),
+        "flow_id": int(flow.flow_id),
+        "size": int(flow.size),
+        "src_host": None if src_host is None else int(src_host),
+        "dst_host": None if dst_host is None else int(dst_host),
+        "is_victim": bool(flow.is_victim),
+        "loss_rate": float(flow.loss_rate),
+        "lost_packets": int(flow.lost_packets),
     }
 
 
@@ -194,8 +212,15 @@ def _row_to_record(row: dict) -> FlowRecord:
     is_victim = row.get("is_victim", False)
     if isinstance(is_victim, str):
         is_victim = is_victim.strip().lower() in ("1", "true", "yes")
+    # int(str) keeps arbitrary-precision wide IDs exact; int(float) would not.
+    flow_id = row["flow_id"]
+    if isinstance(flow_id, float):
+        raise ValueError(
+            f"flow_id {flow_id!r} arrived as a float — wide 104-bit IDs cannot "
+            "round-trip through floating point; re-export the trace"
+        )
     return FlowRecord(
-        flow_id=int(row["flow_id"]),
+        flow_id=int(flow_id),
         size=int(row["size"]),
         src_host=_opt_int(row.get("src_host")),
         dst_host=_opt_int(row.get("dst_host")),
@@ -205,14 +230,58 @@ def _row_to_record(row: dict) -> FlowRecord:
     )
 
 
-def write_trace_file(path: str, epochs: Iterable[Trace]) -> int:
-    """Serialize per-epoch traces to a JSONL or CSV file; returns epochs written.
+class _ColumnAccumulator:
+    """Builds one epoch's :class:`TraceColumns` from parsed rows (ingest path)."""
 
-    The format is inferred from the extension (``.jsonl`` / ``.csv``); one row
-    per flow, tagged with its epoch index, so the file replays losslessly
-    through :class:`TraceFileSource`.
+    __slots__ = ("flow_ids", "sizes", "src_hosts", "dst_hosts", "is_victim",
+                 "loss_rate", "lost_packets")
+
+    def __init__(self) -> None:
+        self.flow_ids: List[int] = []
+        self.sizes: List[int] = []
+        self.src_hosts: List[int] = []
+        self.dst_hosts: List[int] = []
+        self.is_victim: List[bool] = []
+        self.loss_rate: List[float] = []
+        self.lost_packets: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.flow_ids)
+
+    def add(self, record: FlowRecord) -> None:
+        self.flow_ids.append(record.flow_id)
+        self.sizes.append(record.size)
+        self.src_hosts.append(-1 if record.src_host is None else record.src_host)
+        self.dst_hosts.append(-1 if record.dst_host is None else record.dst_host)
+        self.is_victim.append(record.is_victim)
+        self.loss_rate.append(record.loss_rate)
+        self.lost_packets.append(record.lost_packets)
+
+    def build(self) -> Trace:
+        columns = TraceColumns(
+            flow_ids=pack_flow_ids(self.flow_ids),
+            sizes=np.array(self.sizes, dtype=np.int64),
+            src_hosts=np.array(self.src_hosts, dtype=np.int64),
+            dst_hosts=np.array(self.dst_hosts, dtype=np.int64),
+            is_victim=np.array(self.is_victim, dtype=bool),
+            lost_packets=np.array(self.lost_packets, dtype=np.int64),
+            loss_rate=np.array(self.loss_rate, dtype=np.float64),
+        )
+        return Trace(columns=columns)
+
+
+def write_trace_file(path: str, epochs: Iterable[Trace]) -> int:
+    """Serialize per-epoch traces to a trace file; returns epochs written.
+
+    The format is inferred from the extension: ``.rtbin`` is the zero-copy
+    binary epoch store (:mod:`repro.traffic.store`), ``.jsonl`` / ``.csv`` are
+    the row-per-flow text formats (each row tagged with its epoch index).  All
+    three replay losslessly through :class:`TraceFileSource`, except that the
+    text formats cannot represent a row-less (empty) epoch.
     """
     fmt = _infer_format(path)
+    if fmt == "binary":
+        return write_binary_trace(path, epochs)
     count = 0
     with open(path, "w", newline="") as handle:
         if fmt == "csv":
@@ -236,17 +305,27 @@ def _infer_format(path: str) -> str:
         return "jsonl"
     if extension == ".csv":
         return "csv"
-    raise ValueError(f"cannot infer trace format from '{path}' (use .jsonl or .csv)")
+    if extension in BINARY_EXTENSIONS:
+        return "binary"
+    # Existing files can be sniffed regardless of their extension.
+    if os.path.exists(path) and is_binary_trace(path):
+        return "binary"
+    raise ValueError(
+        f"cannot infer trace format from '{path}' (use .rtbin, .jsonl, or .csv)"
+    )
 
 
 @dataclass
 class TraceFileSource(TraceSource):
-    """Replay a JSONL/CSV trace file one epoch at a time.
+    """Replay a trace file (binary ``.rtbin``, JSONL, or CSV) epoch by epoch.
 
-    Rows are grouped into epochs by their ``epoch`` column (consecutive runs
-    of equal values); files without that column are chunked every
-    ``flows_per_epoch`` rows.  The file is read line by line — only the epoch
-    currently being assembled is ever resident.
+    Binary epoch stores replay with zero parsing: each epoch is a set of
+    read-only mmap-backed column views (frozen traces), so only the pages of
+    the epoch being consumed are ever resident.  Text rows are grouped into
+    epochs by their ``epoch`` column (consecutive runs of equal values); files
+    without that column are chunked every ``flows_per_epoch`` rows.  Text
+    files are read line by line and assembled into per-epoch columns — only
+    the epoch currently being built is ever resident.
     """
 
     path: str
@@ -255,8 +334,14 @@ class TraceFileSource(TraceSource):
 
     def __post_init__(self) -> None:
         self.format = self.format or _infer_format(self.path)
-        if self.format not in ("jsonl", "csv"):
+        if self.format not in ("jsonl", "csv", "binary"):
             raise ValueError(f"unsupported trace format '{self.format}'")
+
+    def __len__(self) -> int:
+        if self.format == "binary":
+            with BinaryTraceReader(self.path) as reader:
+                return len(reader)
+        raise TypeError(f"{type(self).__name__} over text files has no predetermined length")
 
     def _rows(self) -> Iterator[dict]:
         if self.format == "csv":
@@ -270,26 +355,33 @@ class TraceFileSource(TraceSource):
                         yield json.loads(line)
 
     def epochs(self) -> Iterator[Trace]:
-        flows: List[FlowRecord] = []
+        if self.format == "binary":
+            reader = BinaryTraceReader(self.path)
+            try:
+                yield from reader.epochs()
+            finally:
+                reader.close()
+            return
+        flows = _ColumnAccumulator()
         current_epoch: Optional[int] = None
         for row in self._rows():
             marker = row.get("epoch")
             marker = int(marker) if marker not in (None, "") else None
             if marker is not None and marker != current_epoch:
-                if flows:
-                    yield Trace(flows=flows)
-                    flows = []
+                if len(flows):
+                    yield flows.build()
+                    flows = _ColumnAccumulator()
                 current_epoch = marker
-            flows.append(_row_to_record(row))
+            flows.add(_row_to_record(row))
             if (
                 marker is None
                 and self.flows_per_epoch
                 and len(flows) >= self.flows_per_epoch
             ):
-                yield Trace(flows=flows)
-                flows = []
-        if flows:
-            yield Trace(flows=flows)
+                yield flows.build()
+                flows = _ColumnAccumulator()
+        if len(flows):
+            yield flows.build()
 
 
 # --------------------------------------------------------------------------- #
@@ -322,7 +414,7 @@ class MergeSource(TraceSource):
             iter(source) for source in self.sources
         ]
         while True:
-            flows: List[FlowRecord] = []
+            parts: List[TraceColumns] = []
             live = 0
             for index, iterator in enumerate(iterators):
                 if iterator is None:
@@ -335,10 +427,10 @@ class MergeSource(TraceSource):
                         return
                     continue
                 live += 1
-                flows.extend(trace.flows)
+                parts.append(trace.columns())
             if not live:
                 return
-            yield Trace(flows=flows)
+            yield Trace(columns=TraceColumns.concat(parts))
 
 
 # --------------------------------------------------------------------------- #

@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 #: (cumulative probability, flow size in packets) control points per workload.
 _CDF_CONTROL_POINTS: Dict[str, List[Tuple[float, int]]] = {
     # Web-search style: almost no single-packet flows, most flows 10-1000
@@ -103,6 +105,29 @@ class FlowSizeDistribution:
     def sample_many(self, count: int, rng: random.Random) -> List[int]:
         return [self.sample(rng) for _ in range(count)]
 
+    def sample_array(self, uniforms: np.ndarray) -> np.ndarray:
+        """Vectorized inverse-transform sampling: one size per uniform draw.
+
+        The same piecewise log-linear CDF as :meth:`sample`, evaluated over a
+        whole array of uniforms at once (the columnar generator's hot path).
+        Returns an int64 array of flow sizes (packets), each >= 1.
+        """
+        u = np.asarray(uniforms, dtype=np.float64)
+        probs = np.array([p for p, _ in self.control_points], dtype=np.float64)
+        log_sizes = np.log([s for _, s in self.control_points])
+        index = np.searchsorted(probs, u, side="left")
+        index = np.clip(index, 1, len(probs) - 1)
+        p0, p1 = probs[index - 1], probs[index]
+        s0, s1 = log_sizes[index - 1], log_sizes[index]
+        span = p1 - p0
+        # Degenerate spans (p1 <= p0) take the upper control point, like sample().
+        frac = np.where(span > 0, (u - p0) / np.where(span > 0, span, 1.0), 1.0)
+        log_size = s0 + frac * (s1 - s0)
+        sizes = np.maximum(1, np.rint(np.exp(log_size))).astype(np.int64)
+        # Below the first control point sample() returns its size unchanged.
+        sizes[u <= probs[0]] = int(round(math.exp(log_sizes[0])))
+        return sizes
+
     def mean_estimate(self, samples: int = 20000, seed: int = 1) -> float:
         """Monte-Carlo estimate of the mean flow size (for sizing experiments)."""
         rng = random.Random(seed)
@@ -141,6 +166,33 @@ def zipf_sizes(num_flows: int, alpha: float = 1.1, total_packets: int | None = N
     sizes = [max(1, int(round(value * scale))) for value in raw]
     # Small random perturbation so equal-rank ties do not produce identical sizes.
     return [max(1, size + rng.randint(0, 1)) for size in sizes]
+
+
+def zipf_sizes_array(
+    num_flows: int,
+    alpha: float = 1.1,
+    total_packets: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Vectorized :func:`zipf_sizes`: the columnar generator's CAIDA sizes.
+
+    Same Zipf-over-ranks shape and the same ±1 tie-breaking perturbation, but
+    computed as one array expression with a NumPy generator (so the exact draws
+    differ from the ``random.Random``-based reference; the distribution and
+    total are identical).
+    """
+    if num_flows <= 0:
+        raise ValueError("num_flows must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = rng or np.random.default_rng(0)
+    ranks = np.arange(1, num_flows + 1, dtype=np.float64)
+    raw = ranks ** -alpha
+    if total_packets is None:
+        total_packets = num_flows * 53
+    scale = total_packets / raw.sum()
+    sizes = np.maximum(1, np.rint(raw * scale).astype(np.int64))
+    return np.maximum(1, sizes + rng.integers(0, 2, num_flows))
 
 
 def empirical_cdf(sizes: Sequence[int]) -> List[Tuple[int, float]]:

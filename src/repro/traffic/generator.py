@@ -9,16 +9,32 @@ Two generators cover the paper's two evaluation settings:
   UDP flows drawn from the DCTCP / VL2 / HADOOP / CACHE distributions, with
   source/destination hosts chosen uniformly among 8 servers and a controlled
   set of victim flows whose packets are dropped at a configured loss rate.
+
+Both build :class:`~repro.traffic.flow.TraceColumns` directly with vectorized
+NumPy RNG draws (``backend="columns"``, the default) — no per-flow Python
+objects are ever created.  ``backend="rows"`` is the retained row-object
+reference: the original ``random.Random`` per-flow path, producing the exact
+pre-refactor traces.  The two backends draw from different RNG streams, so
+their traces differ draw-for-draw while matching in distribution; property
+tests assert that *any* given trace produces bit-identical results whether it
+is consumed through rows or columns.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from .distributions import FlowSizeDistribution, get_distribution, zipf_sizes
-from .flow import FlowKey, FlowRecord, Trace
+import numpy as np
+
+from .distributions import (
+    FlowSizeDistribution,
+    get_distribution,
+    zipf_sizes,
+    zipf_sizes_array,
+)
+from .flow import FlowKey, FlowRecord, Trace, TraceColumns
 
 
 def sample_binomial(rng: random.Random, n: int, p: float) -> int:
@@ -83,6 +99,11 @@ def make_flow_id(index: int, seed: int = 0) -> int:
     return rng.randrange(1, 1 << 32)
 
 
+def _validate_backend(backend: str) -> None:
+    if backend not in ("columns", "rows"):
+        raise ValueError("backend must be 'columns' or 'rows'")
+
+
 def generate_caida_like_trace(
     num_flows: int,
     total_packets: Optional[int] = None,
@@ -91,6 +112,7 @@ def generate_caida_like_trace(
     victim_selection: str = "largest",
     alpha: float = 1.1,
     seed: int = 0,
+    backend: str = "columns",
 ) -> Trace:
     """Synthesise a CAIDA-like trace with 32-bit flow IDs.
 
@@ -108,23 +130,45 @@ def generate_caida_like_trace(
     victim_selection:
         ``"largest"`` (the paper marks the largest flows as victims) or
         ``"random"``.
+    backend:
+        ``"columns"`` (default) builds the trace as arrays with vectorized RNG
+        draws; ``"rows"`` is the retained per-flow ``random.Random`` reference.
     """
     if num_flows <= 0:
         raise ValueError("num_flows must be positive")
     if victim_flows < 0 or victim_flows > num_flows:
         raise ValueError("victim_flows must be between 0 and num_flows")
-    rng = random.Random(seed)
-    sizes = zipf_sizes(num_flows, alpha=alpha, total_packets=total_packets, rng=rng)
-    flows = [
-        FlowRecord(flow_id=make_flow_id(index, seed), size=size)
-        for index, size in enumerate(sizes)
-    ]
-    _mark_victims(flows, victim_flows, loss_rate, victim_selection, rng)
-    return Trace(flows=flows)
+    _validate_backend(backend)
+    if backend == "rows":
+        rng = random.Random(seed)
+        sizes = zipf_sizes(num_flows, alpha=alpha, total_packets=total_packets, rng=rng)
+        flows = [
+            FlowRecord(flow_id=make_flow_id(index, seed), size=size)
+            for index, size in enumerate(sizes)
+        ]
+        _mark_victims(flows, victim_flows, loss_rate, victim_selection, rng)
+        return Trace(flows=flows)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    sizes = zipf_sizes_array(num_flows, alpha=alpha, total_packets=total_packets, rng=rng)
+    # Source-IP style IDs: uniform over the 32-bit space.  Collisions are kept
+    # (as the row reference keeps make_flow_id collisions): duplicate IDs
+    # accumulate in the ground truth exactly as the sketches see them.
+    flow_ids = rng.integers(1, 1 << 32, num_flows, dtype=np.uint64)
+    columns = TraceColumns(
+        flow_ids=flow_ids,
+        sizes=sizes,
+        src_hosts=np.full(num_flows, -1, dtype=np.int64),
+        dst_hosts=np.full(num_flows, -1, dtype=np.int64),
+        is_victim=np.zeros(num_flows, dtype=bool),
+        lost_packets=np.zeros(num_flows, dtype=np.int64),
+        loss_rate=np.zeros(num_flows, dtype=np.float64),
+    )
+    _mark_victims_columns(columns, victim_flows, loss_rate, victim_selection, rng)
+    return Trace(columns=columns)
 
 
 def generate_workload(
-    workload: str | FlowSizeDistribution,
+    workload: Union[str, FlowSizeDistribution],
     num_flows: int,
     victim_ratio: float = 0.0,
     loss_rate: float = 0.05,
@@ -132,33 +176,135 @@ def generate_workload(
     victim_selection: str = "random",
     seed: int = 0,
     use_five_tuple: bool = True,
+    backend: str = "columns",
 ) -> Trace:
     """Generate a testbed-style workload from a named distribution.
 
     Flows get 5-tuple IDs (104-bit packed) by default, mirroring the testbed;
     source and destination hosts are chosen uniformly so every server sends and
-    receives roughly the same number of flows.
+    receives roughly the same number of flows.  ``backend="columns"`` (default)
+    builds the trace columnar with vectorized draws; ``backend="rows"`` is the
+    retained per-flow reference path.
     """
     if num_flows <= 0:
         raise ValueError("num_flows must be positive")
     if not 0.0 <= victim_ratio <= 1.0:
         raise ValueError("victim_ratio must be in [0, 1]")
+    _validate_backend(backend)
     distribution = (
         workload if isinstance(workload, FlowSizeDistribution) else get_distribution(workload)
     )
-    rng = random.Random(seed)
-    flows: List[FlowRecord] = []
-    used_ids: set[int] = set()
-    for index in range(num_flows):
-        size = distribution.sample(rng)
-        src, dst = _assign_hosts(rng, num_hosts)
-        flow_id = _unique_flow_id(rng, used_ids, src, dst, use_five_tuple)
-        flows.append(FlowRecord(flow_id=flow_id, size=size, src_host=src, dst_host=dst))
     victim_count = int(round(victim_ratio * num_flows))
-    _mark_victims(flows, victim_count, loss_rate, victim_selection, rng)
-    return Trace(flows=flows)
+    if backend == "rows":
+        rng = random.Random(seed)
+        flows: List[FlowRecord] = []
+        used_ids: set[int] = set()
+        for index in range(num_flows):
+            size = distribution.sample(rng)
+            src, dst = _assign_hosts(rng, num_hosts)
+            flow_id = _unique_flow_id(rng, used_ids, src, dst, use_five_tuple)
+            flows.append(FlowRecord(flow_id=flow_id, size=size, src_host=src, dst_host=dst))
+        _mark_victims(flows, victim_count, loss_rate, victim_selection, rng)
+        return Trace(flows=flows)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    sizes = distribution.sample_array(rng.random(num_flows))
+    src = rng.integers(0, num_hosts, num_flows)
+    dst = rng.integers(0, num_hosts, num_flows)
+    if num_hosts > 1:
+        clash = dst == src
+        while clash.any():
+            dst[clash] = rng.integers(0, num_hosts, int(clash.sum()))
+            clash = dst == src
+    flow_ids = _draw_unique_ids(rng, src, dst, use_five_tuple)
+    columns = TraceColumns(
+        flow_ids=flow_ids,
+        sizes=sizes,
+        src_hosts=src.astype(np.int64),
+        dst_hosts=dst.astype(np.int64),
+        is_victim=np.zeros(num_flows, dtype=bool),
+        lost_packets=np.zeros(num_flows, dtype=np.int64),
+        loss_rate=np.zeros(num_flows, dtype=np.float64),
+    )
+    _mark_victims_columns(columns, victim_count, loss_rate, victim_selection, rng)
+    return Trace(columns=columns)
 
 
+# --------------------------------------------------------------------------- #
+# columnar draws
+# --------------------------------------------------------------------------- #
+def _five_tuple_ids(
+    rng: np.random.Generator, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Packed 104-bit 5-tuple IDs for the given host columns (object dtype).
+
+    Field layout matches :meth:`FlowKey.packed` / ``fold_key`` with widths
+    (32, 32, 16, 16, 8): srcIP << 72 | dstIP << 40 | sport << 24 | dport << 8
+    | protocol.
+    """
+    n = len(src)
+    src_ip = (10 << 24) | (src << 8) | rng.integers(1, 255, n)
+    dst_ip = (10 << 24) | (dst << 8) | rng.integers(1, 255, n)
+    sport = rng.integers(1024, 65536, n)
+    dport = rng.integers(1024, 65536, n)
+    return (
+        (src_ip.astype(object) << 72)
+        | (dst_ip.astype(object) << 40)
+        | (sport.astype(object) << 24)
+        | (dport.astype(object) << 8)
+        | 17
+    )
+
+
+def _draw_unique_ids(
+    rng: np.random.Generator, src: np.ndarray, dst: np.ndarray, use_five_tuple: bool
+) -> np.ndarray:
+    """Distinct flow IDs, redrawing colliding rows until all are unique."""
+    n = len(src)
+    if use_five_tuple:
+        ids = _five_tuple_ids(rng, src, dst)
+    else:
+        ids = rng.integers(1, 1 << 32, n, dtype=np.uint64)
+    while True:
+        _, first_positions = np.unique(ids, return_index=True)
+        if len(first_positions) == n:
+            return ids
+        duplicates = np.setdiff1d(
+            np.arange(n), first_positions, assume_unique=False
+        )
+        if use_five_tuple:
+            ids[duplicates] = _five_tuple_ids(rng, src[duplicates], dst[duplicates])
+        else:
+            ids[duplicates] = rng.integers(1, 1 << 32, len(duplicates), dtype=np.uint64)
+
+
+def _mark_victims_columns(
+    columns: TraceColumns,
+    victim_count: int,
+    loss_rate: float,
+    victim_selection: str,
+    rng: np.random.Generator,
+) -> None:
+    if victim_count <= 0:
+        return
+    if victim_selection == "largest":
+        chosen = np.argsort(-columns.sizes, kind="stable")[:victim_count]
+    elif victim_selection == "random":
+        chosen = rng.permutation(len(columns))[:victim_count]
+    else:
+        raise ValueError("victim_selection must be 'largest' or 'random'")
+    sizes = columns.sizes[chosen]
+    lost = rng.binomial(sizes, loss_rate)
+    # Every designated victim loses at least one packet (observability),
+    # matching _binomial_losses in the row reference.
+    lost = np.minimum(sizes, np.maximum(1, lost))
+    columns.is_victim[chosen] = True
+    columns.loss_rate[chosen] = loss_rate
+    columns.lost_packets[chosen] = lost
+
+
+# --------------------------------------------------------------------------- #
+# row-reference helpers
+# --------------------------------------------------------------------------- #
 def _unique_flow_id(
     rng: random.Random, used: set[int], src: int, dst: int, use_five_tuple: bool
 ) -> int:
@@ -201,19 +347,38 @@ def _mark_victims(
         flow.lost_packets = _binomial_losses(flow.size, loss_rate, rng)
 
 
-def largest_flows(trace: Trace, count: int) -> List[FlowRecord]:
-    """The ``count`` largest flows of a trace (paper: 'the largest 10K flows')."""
-    return sorted(trace.flows, key=lambda flow: flow.size, reverse=True)[:count]
+# --------------------------------------------------------------------------- #
+# ground-truth helpers (column-native)
+# --------------------------------------------------------------------------- #
+def largest_flows(trace: Trace, count: int):
+    """The ``count`` largest flows of a trace (paper: 'the largest 10K flows').
+
+    Returns row views in descending size order (stable among ties, like the
+    ``sorted``-based reference).
+    """
+    order = np.argsort(-trace.columns().sizes, kind="stable")[:count]
+    flows = trace.flows
+    return [flows[int(index)] for index in order]
 
 
-def restrict_to_flows(trace: Trace, flows: Sequence[FlowRecord]) -> Trace:
-    """A new trace containing only the given flows."""
+def restrict_to_flows(trace: Trace, flows: Sequence) -> Trace:
+    """A new trace containing only the given flows (records or row views)."""
     return Trace(flows=list(flows))
+
+
+def take_flows(trace: Trace, indices: Sequence[int]) -> Trace:
+    """A new trace restricted to the given row indices (column-native)."""
+    return Trace(columns=trace.columns().take(np.asarray(indices)))
 
 
 def ground_truth_heavy_hitters(trace: Trace, threshold: int) -> Dict[int, int]:
     """Ground-truth heavy hitters: flows whose size is at least ``threshold``."""
-    return {flow.flow_id: flow.size for flow in trace.flows if flow.size >= threshold}
+    columns = trace.columns()
+    positions = np.nonzero(columns.sizes >= threshold)[0]
+    ids = columns.flow_ids[positions].tolist()
+    return dict(
+        zip([int(i) for i in ids], columns.sizes[positions].tolist())
+    )
 
 
 def ground_truth_heavy_changes(

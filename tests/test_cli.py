@@ -272,3 +272,69 @@ class TestStreamCommand:
             "--fail-host", "99",
         ]) == 2
         assert "--fail-host" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    """The trace inspect/convert surface over the columnar trace plane."""
+
+    @staticmethod
+    def _write_jsonl(tmp_path):
+        from repro.stream import SyntheticSource
+        from repro.stream.sources import write_trace_file
+
+        path = str(tmp_path / "t.jsonl")
+        source = SyntheticSource.steady(num_flows=40, epochs=3, victim_ratio=0.1,
+                                        seed=2)
+        write_trace_file(path, source)
+        return path
+
+    def test_convert_jsonl_to_binary_and_back(self, capsys, tmp_path):
+        jsonl = self._write_jsonl(tmp_path)
+        binary = str(tmp_path / "t.rtbin")
+        csv_path = str(tmp_path / "t.csv")
+        assert main(["trace", "convert", jsonl, binary]) == 0
+        assert "3 epochs" in capsys.readouterr().out
+        assert main(["trace", "convert", binary, csv_path]) == 0
+        assert "3 epochs" in capsys.readouterr().out
+
+        from repro.stream.sources import TraceFileSource
+        original = list(TraceFileSource(jsonl).epochs())
+        round_tripped = list(TraceFileSource(csv_path).epochs())
+        assert len(original) == len(round_tripped)
+        for a, b in zip(original, round_tripped):
+            assert list(a.flows) == list(b.flows)
+
+    def test_inspect_binary(self, capsys, tmp_path):
+        jsonl = self._write_jsonl(tmp_path)
+        binary = str(tmp_path / "t.rtbin")
+        assert main(["trace", "convert", jsonl, binary, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "inspect", binary]) == 0
+        out = capsys.readouterr().out
+        assert "format:       binary" in out
+        assert "epochs:       3" in out
+        assert "flow_id_lo" in out
+
+    def test_inspect_text_and_json_output(self, capsys, tmp_path):
+        jsonl = self._write_jsonl(tmp_path)
+        assert main(["trace", "inspect", jsonl, "--json", "-"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format"] == "jsonl"
+        assert summary["epochs"] == 3
+        assert summary["flows"] == 120
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["trace", "inspect", "no_such.rtbin"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_inspect_corrupt_binary(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.rtbin")
+        with open(path, "wb") as handle:
+            handle.write(b"RTRC" + b"\0" * 20)  # header only, no manifest
+        assert main(["trace", "inspect", path]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_convert_unknown_extension(self, capsys, tmp_path):
+        jsonl = self._write_jsonl(tmp_path)
+        assert main(["trace", "convert", jsonl, str(tmp_path / "t.txt")]) == 2
+        assert "cannot infer trace format" in capsys.readouterr().err

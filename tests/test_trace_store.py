@@ -1,0 +1,213 @@
+"""Tests for the zero-copy binary epoch store and trace-file round trips."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.stream.sources import TraceFileSource, write_trace_file
+from repro.traffic.flow import FlowRecord, Trace, TraceColumns
+from repro.traffic.generator import generate_caida_like_trace, generate_workload
+from repro.traffic.store import (
+    MAGIC,
+    BinaryTraceReader,
+    TraceFormatError,
+    inspect_binary_trace,
+    is_binary_trace,
+    write_binary_trace,
+)
+
+
+def _records(trace):
+    return [flow.to_record() for flow in trace.flows]
+
+
+def _assert_epochs_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert _records(a) == _records(b)
+
+
+def _edge_case_epochs():
+    """Epochs covering the dtype/value edges of the format."""
+    wide = generate_workload(
+        "DCTCP", num_flows=40, victim_ratio=0.2, seed=1, use_five_tuple=True
+    )
+    narrow_no_hosts = generate_caida_like_trace(
+        num_flows=50, victim_flows=5, seed=2
+    )  # 32-bit IDs, src/dst unset (-1 <-> None)
+    zero_loss = generate_workload("VL2", num_flows=30, victim_ratio=0.0, seed=3)
+    all_victim = generate_workload(
+        "Hadoop", num_flows=25, victim_ratio=1.0, loss_rate=0.3, seed=4
+    )
+    return [wide, narrow_no_hosts, zero_loss, all_victim]
+
+
+class TestBinaryRoundTrip:
+    def test_round_trip_matches_jsonl(self, tmp_path):
+        epochs = _edge_case_epochs()
+        binary = str(tmp_path / "trace.rtbin")
+        jsonl = str(tmp_path / "trace.jsonl")
+        assert write_trace_file(binary, epochs) == len(epochs)
+        assert write_trace_file(jsonl, epochs) == len(epochs)
+        from_binary = list(TraceFileSource(binary).epochs())
+        from_jsonl = list(TraceFileSource(jsonl).epochs())
+        _assert_epochs_equal(from_binary, epochs)
+        _assert_epochs_equal(from_binary, from_jsonl)
+
+    def test_round_trip_preserves_empty_epochs(self, tmp_path):
+        epochs = [
+            generate_workload("DCTCP", num_flows=10, seed=1),
+            Trace(columns=TraceColumns.empty()),
+            generate_workload("DCTCP", num_flows=5, seed=2),
+        ]
+        path = str(tmp_path / "gaps.rtbin")
+        assert write_binary_trace(path, epochs) == 3
+        replayed = list(TraceFileSource(path).epochs())
+        assert [len(t) for t in replayed] == [10, 0, 5]
+        _assert_epochs_equal(replayed, epochs)
+
+    def test_wide_ids_survive(self, tmp_path):
+        trace = generate_workload("DCTCP", num_flows=20, seed=7, use_five_tuple=True)
+        assert trace.columns().wide_ids  # 104-bit packed five-tuples
+        path = str(tmp_path / "wide.rtbin")
+        write_binary_trace(path, [trace])
+        replayed = next(TraceFileSource(path).epochs())
+        assert [f.flow_id for f in replayed.flows] == [f.flow_id for f in trace.flows]
+        assert max(f.flow_id for f in replayed.flows) >= 1 << 64
+
+    def test_replayed_traces_are_frozen_views(self, tmp_path):
+        trace = generate_workload("DCTCP", num_flows=15, seed=3)
+        path = str(tmp_path / "frozen.rtbin")
+        write_binary_trace(path, [trace])
+        replayed = next(TraceFileSource(path).epochs())
+        assert replayed.frozen
+        with pytest.raises((ValueError, RuntimeError)):
+            replayed.columns().sizes[0] = 99
+        # The explicit-mutation contract: copy first, then write.
+        copied = replayed.columns().copy()
+        copied.sizes[0] = 99
+        assert copied.sizes[0] == 99
+
+    def test_len_and_random_access(self, tmp_path):
+        epochs = [generate_workload("DCTCP", num_flows=n, seed=n) for n in (5, 8, 3)]
+        path = str(tmp_path / "multi.rtbin")
+        write_binary_trace(path, epochs)
+        assert len(TraceFileSource(path)) == 3
+        with BinaryTraceReader(path) as reader:
+            assert len(reader.read_epoch(1)) == 8
+            assert len(reader.read_epoch(2)) == 3
+
+    def test_inspect_summary(self, tmp_path):
+        epochs = _edge_case_epochs()
+        path = str(tmp_path / "inspect.rtbin")
+        write_binary_trace(path, epochs)
+        summary = inspect_binary_trace(path)
+        assert summary["epochs"] == len(epochs)
+        assert summary["flows"] == sum(len(t) for t in epochs)
+        assert summary["packets"] == sum(t.num_packets() for t in epochs)
+        assert summary["victims"] == sum(t.num_victims() for t in epochs)
+        assert summary["wide_epochs"] >= 1
+        assert "flow_id_lo" in summary["columns"]
+
+
+class TestErrorPaths:
+    def test_truncated_file_fails_fast(self, tmp_path):
+        path = str(tmp_path / "trunc.rtbin")
+        write_binary_trace(path, [generate_workload("DCTCP", num_flows=50, seed=1)])
+        data = open(path, "rb").read()
+        truncated = str(tmp_path / "cut.rtbin")
+        with open(truncated, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            BinaryTraceReader(truncated)
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.rtbin")
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\0" * 60)
+        with pytest.raises(TraceFormatError, match="magic"):
+            BinaryTraceReader(path)
+        assert not is_binary_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = str(tmp_path / "vers.rtbin")
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<4sHHQQ", MAGIC, 99, 0, 64, 2))
+            handle.write(b"\0" * 40)
+            handle.write(b"{}")
+        with pytest.raises(TraceFormatError, match="version"):
+            BinaryTraceReader(path)
+
+    def test_corrupt_manifest(self, tmp_path):
+        path = str(tmp_path / "manifest.rtbin")
+        blob = b"this is not json"
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<4sHHQQ", MAGIC, 1, 0, 64, len(blob)))
+            handle.write(b"\0" * 40)
+            handle.write(blob)
+        with pytest.raises(TraceFormatError, match="manifest"):
+            BinaryTraceReader(path)
+
+    def test_incomplete_write_detected(self, tmp_path):
+        # A crash before the header back-patch leaves offset == 0.
+        path = str(tmp_path / "crash.rtbin")
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<4sHHQQ", MAGIC, 1, 0, 0, 0))
+            handle.write(b"\0" * 200)
+        with pytest.raises(TraceFormatError, match="manifest"):
+            BinaryTraceReader(path)
+
+    def test_tiny_file(self, tmp_path):
+        path = str(tmp_path / "tiny.rtbin")
+        with open(path, "wb") as handle:
+            handle.write(b"RT")
+        with pytest.raises(TraceFormatError):
+            BinaryTraceReader(path)
+
+
+class TestTextRoundTripRegression:
+    """Column-backed rows must serialize to JSONL/CSV without numpy leakage."""
+
+    @pytest.mark.parametrize("extension", ["jsonl", "csv"])
+    def test_columnar_rows_round_trip(self, tmp_path, extension):
+        # Row views over NumPy columns yield numpy-free scalars; before the
+        # coercion fix json.dumps(np.int64(...)) raised TypeError and wide
+        # (104-bit) IDs risked precision-lossy float round trips.
+        epochs = [
+            generate_workload("DCTCP", num_flows=30, victim_ratio=0.2, seed=9,
+                              use_five_tuple=True),
+            generate_caida_like_trace(num_flows=20, victim_flows=2, seed=10),
+        ]
+        path = str(tmp_path / f"round.{extension}")
+        write_trace_file(path, epochs)
+        replayed = list(TraceFileSource(path).epochs())
+        _assert_epochs_equal(replayed, epochs)
+        for flow in replayed[0].flows:
+            assert isinstance(flow.flow_id, int)
+            assert not isinstance(flow.flow_id, np.generic)
+
+    def test_jsonl_values_are_plain_json_types(self, tmp_path):
+        trace = generate_workload("DCTCP", num_flows=10, victim_ratio=0.5, seed=11)
+        path = str(tmp_path / "plain.jsonl")
+        write_trace_file(path, [trace])
+        for line in open(path):
+            row = json.loads(line)
+            assert isinstance(row["flow_id"], int)
+            assert isinstance(row["size"], int)
+            assert isinstance(row["is_victim"], bool)
+
+    def test_float_flow_id_rejected(self):
+        from repro.stream.sources import _row_to_record
+
+        with pytest.raises(ValueError, match="flow_id"):
+            _row_to_record({"flow_id": 1.5, "size": 3})
+
+    def test_wide_id_exact_through_text(self, tmp_path):
+        wide_id = (1 << 100) + 12345  # loses precision through float64
+        record = FlowRecord(flow_id=wide_id, size=7)
+        path = str(tmp_path / "wide.jsonl")
+        write_trace_file(path, [Trace(flows=[record])])
+        replayed = next(TraceFileSource(path).epochs())
+        assert replayed.flows[0].flow_id == wide_id
