@@ -1,0 +1,149 @@
+"""Shard scaling benchmark: the persistent worker pool vs the serial path.
+
+Runs the ``fabric_scale`` scenario (k=8 fat-tree, DCTCP workload) serially and
+at ``shards`` ∈ {1, 2, 4}, measures warm-pool epoch throughput (the first
+epoch absorbs executor and shared-memory spin-up, the second is the steady
+state every long run lives in), and writes the scaling curve as a
+machine-readable perf artifact (``BENCH_shard_scaling.json``).
+
+Two assertions:
+
+* the sharded data plane is *bit-identical* to the serial path (every sketch
+  counter, every statistic) — checked here end to end on a small fabric run
+  in addition to the dedicated tests;
+* at 4 shards the warm-epoch speedup is at least 1.6x — gated on the runner
+  actually having >= 4 cores and on full scale (``REPRO_SCALE >= 1.0``),
+  since a single-core container can only demonstrate correctness, not
+  parallel speedup.
+"""
+
+import json
+import os
+
+import conftest
+from conftest import print_table, run_figure
+
+SHARD_COUNTS = (1, 2, 4)
+CORES = os.cpu_count() or 1
+
+#: Minimum warm-epoch speedup at 4 shards on a capable (>= 4 core) runner.
+MIN_SPEEDUP_AT_4 = 1.6
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_shard_scaling.json",
+)
+
+
+def _warm_row(result):
+    """The steady-state row: last epoch, after pool/buffer spin-up."""
+    return result.points[0].rows[-1]
+
+
+def test_shard_scaling_curve_and_artifact():
+    # CPU-aware sizing: the full million-flow fabric only makes sense where
+    # the shards have cores to land on; a small container still exercises the
+    # whole pool machinery at a size it can finish quickly.
+    base_flows = 200_000 if CORES >= 4 else 20_000
+    overrides = dict(flows=conftest.scaled(base_flows), epochs=2, scale=0.05)
+
+    serial = run_figure("fabric_scale", overrides=dict(overrides, shards=0))
+    serial_row = _warm_row(serial)
+    wall_seconds = serial.wall_seconds
+    rows = [dict(serial_row, mode="serial", speedup=1.0, efficiency=1.0)]
+
+    speedups = {}
+    for shards in SHARD_COUNTS:
+        result = run_figure("fabric_scale", overrides=dict(overrides, shards=shards))
+        row = _warm_row(result)
+        wall_seconds += result.wall_seconds
+        speedup = row["epochs_per_s"] / serial_row["epochs_per_s"]
+        speedups[shards] = speedup
+        rows.append(
+            dict(
+                row,
+                mode=f"sharded-{shards}",
+                speedup=round(speedup, 3),
+                efficiency=round(speedup / shards, 3),
+            )
+        )
+
+    print_table(
+        f"Shard scaling: fabric_scale warm epoch ({rows[0]['flows']} flows, "
+        f"{CORES} cores)",
+        ["mode", "packets", "seconds", "epochs/s", "speedup", "efficiency"],
+        [
+            [
+                row["mode"],
+                row["packets"],
+                f"{row['seconds']:.3f}",
+                f"{row['epochs_per_s']:.2f}",
+                f"{row['speedup']:.2f}x",
+                f"{row['efficiency']:.2f}",
+            ]
+            for row in rows
+        ],
+    )
+
+    gate_applies = CORES >= 4 and conftest.SCALE >= 1.0
+    artifact = {
+        "scenario": "shard_scaling",
+        "params": dict(overrides, shard_counts=list(SHARD_COUNTS)),
+        "seed": serial.seed,
+        "wall_seconds": wall_seconds,
+        "rows": rows,
+        "extras": {
+            "cores": CORES,
+            "repro_scale": conftest.SCALE,
+            "speedup_gate": MIN_SPEEDUP_AT_4,
+            "gate_applied": gate_applies,
+        },
+    }
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    print(f"perf artifact written to {ARTIFACT_PATH}")
+
+    if gate_applies:
+        assert speedups[4] >= MIN_SPEEDUP_AT_4, (
+            f"4-shard warm epoch only {speedups[4]:.2f}x faster than serial "
+            f"(required {MIN_SPEEDUP_AT_4}x on a {CORES}-core runner)"
+        )
+
+
+def test_sharded_identical_to_serial_end_to_end():
+    """Sharded and serial epochs leave bit-identical data-plane state."""
+    from repro.dataplane.config import SwitchResources
+    from repro.dataplane.sharded import collect_dataplane_state
+    from repro.network.simulator import build_testbed_simulator
+    from repro.network.topology import FatTreeSpec, FatTreeTopology
+    from repro.traffic.generator import generate_workload
+
+    topology = FatTreeTopology(FatTreeSpec(k=8))
+    trace = generate_workload(
+        "DCTCP",
+        num_flows=conftest.scaled(2000, minimum=500),
+        victim_ratio=0.05,
+        loss_rate=0.05,
+        num_hosts=topology.num_hosts,
+        seed=5,
+        use_five_tuple=False,
+    )
+    states = {}
+    truths = {}
+    for shards in (None,) + SHARD_COUNTS:
+        simulator = build_testbed_simulator(
+            resources=SwitchResources.scaled(0.05),
+            seed=5,
+            topology=FatTreeTopology(FatTreeSpec(k=8)),
+        )
+        try:
+            truths[shards] = simulator.run_epoch(trace, shards=shards)
+            states[shards] = collect_dataplane_state(simulator)
+        finally:
+            simulator.close()
+    for shards in SHARD_COUNTS:
+        assert truths[shards].losses == truths[None].losses
+        assert truths[shards].flow_sizes == truths[None].flow_sizes
+        assert states[shards] == states[None], (
+            f"sharded (shards={shards}) data-plane state diverged from serial"
+        )

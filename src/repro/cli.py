@@ -221,9 +221,9 @@ def _run_and_emit(
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     try:
-        # The global --scale / --loss-rate knobs apply wherever the scenario
-        # has the matching parameter; explicit --set overrides win.
-        for knob in ("scale", "loss_rate"):
+        # The global --scale / --loss-rate / --shards knobs apply wherever the
+        # scenario has the matching parameter; explicit --set overrides win.
+        for knob in ("scale", "loss_rate", "shards"):
             value = getattr(args, knob, None)
             if value is not None and knob in spec.params and knob not in overrides:
                 overrides[knob] = value
@@ -238,13 +238,13 @@ def _run_and_emit(
             )
         elif getattr(args, "csv_out", None) == "-":
             streamer = _CsvRowStream()
-        runner = SweepRunner(jobs=jobs)
-        result = runner.run(
-            spec,
-            overrides=overrides,
-            seed=seed,
-            point_callback=streamer.point if streamer else None,
-        )
+        with SweepRunner(jobs=jobs) as runner:
+            result = runner.run(
+                spec,
+                overrides=overrides,
+                seed=seed,
+                point_callback=streamer.point if streamer else None,
+            )
         if streamer is not None:
             streamer.close(result.wall_seconds)
     except ScenarioError as error:
@@ -426,6 +426,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         seed=seed,
         pipelined=not args.serial,
         rolling_window=args.rolling_window,
+        shards=args.shards,
     )
     summary = engine.run(max_epochs=args.epochs)
     stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
@@ -775,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=argparse.SUPPRESS,
                         help="packet-loss rate (applied to scenarios that "
                              "take a 'loss_rate' parameter)")
+    common.add_argument("--shards", type=int, default=argparse.SUPPRESS,
+                        help="shard the data plane across N worker processes "
+                             "(applied to scenarios that take a 'shards' "
+                             "parameter; bit-identical to serial)")
     common.add_argument("--jobs", type=int, default=1,
                         help="run sweep points across N processes")
     common.add_argument("--json", dest="json_out", metavar="PATH",
@@ -811,6 +816,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--loss-rate", type=float, dest="loss_rate",
                      default=argparse.SUPPRESS,
                      help="victim packet-loss rate of the synthetic phases")
+    sub.add_argument("--shards", type=int, default=None,
+                     help="shard the data plane across N worker processes "
+                          "(bit-identical to serial execution)")
     sub.add_argument("--phases", metavar="F:R:E[,...]",
                      help="phase schedule as flows:victim_ratio:epochs groups "
                           "(default 400:0.05:6,800:0.15:6,400:0.05:6)")

@@ -76,10 +76,19 @@ class ChameleMon:
     #: state is consumed.  The streaming engine turns this on — the groups it
     #: collects are throwaways.
     destructive_analysis: bool = False
+    #: Deploy on a custom fat-tree instead of the testbed topology (e.g. a
+    #: k=8 fabric for the ``fabric_scale`` scenario).
+    topology: Optional[object] = None
+    #: Fan each epoch's data plane out over N worker shards (bit-identical to
+    #: serial execution; see repro.dataplane.sharded).  None/0 runs serially.
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.simulator: NetworkSimulator = build_testbed_simulator(
-            resources=self.resources, seed=self.seed, prime=self.prime
+            resources=self.resources,
+            seed=self.seed,
+            prime=self.prime,
+            topology=self.topology,
         )
         self.controller = CentralController(
             resources=self.resources,
@@ -117,7 +126,7 @@ class ChameleMon:
             # Install the configuration staged by the previous epoch's decision.
             for switch in self.simulator.switches.values():
                 switch.begin_epoch()
-        truth = self.simulator.run_epoch(trace)
+        truth = self.simulator.run_epoch(trace, shards=self.shards)
         groups = {
             node: switch.end_epoch()
             for node, switch in self.simulator.switches.items()
@@ -140,6 +149,10 @@ class ChameleMon:
 
     def run_epochs(self, traces: List[Trace]) -> List[EpochResult]:
         return [self.run_epoch(trace) for trace in traces]
+
+    def close(self) -> None:
+        """Release the sharded worker pool, if one was spun up."""
+        self.simulator.close()
 
     def run_until_stable(
         self,

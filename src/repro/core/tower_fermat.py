@@ -100,6 +100,24 @@ class TowerFermat(HeavyHitterSketch, FrequencySketch):
     def memory_bytes(self) -> int:
         return self.tower.memory_bytes() + self.fermat.memory_bytes()
 
+    def add(self, other: "TowerFermat") -> "TowerFermat":
+        """In-place merge of a compatible TowerFermat (component-wise add).
+
+        *Conditionally* exact: the Tower and Fermat components merge exactly,
+        but which packets were promoted into the Fermat part depends on each
+        operand's own Tower estimates at insertion time.  The merge equals
+        single-stream encoding only when no flow's promotion decision would
+        have differed — e.g. flow-disjoint partitions whose cross-partition
+        Tower collisions never push a flow across the threshold earlier than
+        its own partition did.  The property tests pin seeds where this holds.
+        """
+        if not isinstance(other, TowerFermat) or self.threshold != other.threshold:
+            raise ValueError("TowerFermat instances must share a threshold to be added")
+        self.tower.add(other.tower)
+        self.fermat.add(other.fermat)
+        self._flowset = None
+        return self
+
     # ------------------------------------------------------------------ #
     def insert(self, flow_id: int, count: int = 1) -> None:
         """Insert packets one flow at a time (equivalent to per-packet insertion)."""

@@ -1,0 +1,487 @@
+"""Sharded data plane: a persistent worker pool over shared-memory columns.
+
+One *shard* owns a set of edge switches (``edge_nodes[i]`` belongs to shard
+``i % num_shards``): it classifies and encodes every flow whose ingress (phase
+1) or egress (phase 2) switch it owns, then ships the resulting sketch state
+back as compact deltas that the parent merges into the central switches with
+the linear ``add`` algebra.  Because a switch's whole flow stream stays inside
+one shard, every classification decision — which depends on per-switch Tower
+collisions and flow order — is made exactly as in the serial batched path.
+
+Transport is zero-copy both ways that matter:
+
+* The epoch's :class:`~repro.traffic.flow.TraceColumns` are packed once into a
+  ``SharedMemory`` block using the ``.rtbin`` column layout
+  (:func:`repro.traffic.store.pack_columns_into`); workers map read-only
+  NumPy views over it.
+* Per-flow hierarchy counts travel from phase 1 to phase 2 through a shared
+  scratch block indexed by *global trace position*.  Shards write disjoint
+  position sets (each position has exactly one ingress owner), so no locking
+  is needed; the pool's phase barrier provides the happens-before edge.
+
+Determinism contract: loss draws are keyed on (seed, epoch, trace position) —
+see :mod:`repro.network.simulator` — so any shard can draw its own victims'
+losses without coordination, and serial/sharded runs are bit-identical.
+
+The epoch protocol is two-phase because egress encoding needs the (possibly
+loss-reduced) hierarchy counts computed at ingress switches owned by *other*
+shards:
+
+1. every shard classifies + upstream-encodes its owned ingress switches and
+   applies its victims' loss draws to the scratch block;
+2. barrier (all phase-1 futures collected);
+3. every shard downstream-encodes its owned egress switches from the scratch.
+
+Workers are stateless between epochs: they rebuild fresh switches from
+(resources, base_seed, prime, per-epoch config) each phase, which is exactly
+what ``begin_epoch`` does centrally — sketch hash seeds derive from
+``base_seed`` alone, so worker-built state is bit-identical to central state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..traffic.store import (
+    columns_buffer_capacity,
+    columns_from_buffer,
+    pack_columns_into,
+)
+from .switch import EdgeSwitch
+
+_ALIGN = 64
+
+#: (name, itemsize, numpy dtype) of the phase-1 -> phase-2 scratch columns.
+_SCRATCH_FIELDS = (
+    ("ll", 8, np.int64),
+    ("hl", 8, np.int64),
+    ("hh", 8, np.int64),
+    ("sampled", 1, np.bool_),
+)
+
+
+def _scratch_layout(num_flows: int) -> Tuple[Dict[str, int], int]:
+    """(column offsets, total bytes) of the scratch block for one epoch."""
+    cursor = _ALIGN
+    offsets: Dict[str, int] = {}
+    for name, itemsize, _ in _SCRATCH_FIELDS:
+        cursor += (-cursor) % _ALIGN
+        offsets[name] = cursor
+        cursor += itemsize * max(1, num_flows)
+    return offsets, cursor + ((-cursor) % _ALIGN)
+
+
+@dataclass
+class _ShardPlan:
+    """Everything a worker needs to rebuild its owned slice of the fabric."""
+
+    topology: Any
+    num_hosts: int
+    edge_nodes: List[Any]
+    owners: Dict[Any, int]
+    #: node -> (resources, base_seed, prime); only nodes with attached planes.
+    node_params: Dict[Any, Tuple[Any, int, int]]
+    num_shards: int
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+_PLAN: Optional[_ShardPlan] = None
+_NODE_INDEX: Dict[Any, int] = {}
+_HOST_EDGE: Optional[np.ndarray] = None
+_SHM_CACHE: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _init_worker(plan: _ShardPlan) -> None:
+    global _PLAN, _NODE_INDEX, _HOST_EDGE
+    _PLAN = plan
+    _NODE_INDEX = {node: index for index, node in enumerate(plan.edge_nodes)}
+    _HOST_EDGE = np.array(
+        [
+            _NODE_INDEX[plan.topology.edge_switch_of_host(host)]
+            for host in range(plan.num_hosts)
+        ],
+        dtype=np.int64,
+    )
+
+
+def _attach_buffers(
+    data_name: str, scratch_name: str
+) -> Tuple[shared_memory.SharedMemory, shared_memory.SharedMemory]:
+    """Attach (with caching) the epoch's data and scratch blocks.
+
+    Buffers outgrown by the parent arrive under fresh names; cached handles
+    for anything but the current pair are dropped.  The parent owns the
+    segments' lifetime and unlinks them on close; attaching here re-registers
+    the same name with the (fork-shared) resource tracker, which collapses in
+    its name set, so no worker-side unregister is needed.
+    """
+    keep = {data_name, scratch_name}
+    for name in [cached for cached in _SHM_CACHE if cached not in keep]:
+        with contextlib.suppress(BufferError, OSError):
+            _SHM_CACHE.pop(name).close()
+    handles = []
+    for name in (data_name, scratch_name):
+        shm = _SHM_CACHE.get(name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=name)
+            _SHM_CACHE[name] = shm
+        handles.append(shm)
+    return handles[0], handles[1]
+
+
+def _scratch_views(
+    scratch: shared_memory.SharedMemory, num_flows: int, offsets: Dict[str, int]
+) -> Dict[str, np.ndarray]:
+    return {
+        name: np.frombuffer(scratch.buf, dtype=dtype, count=num_flows, offset=offsets[name])
+        for name, _, dtype in _SCRATCH_FIELDS
+    }
+
+
+def _owned_nodes(shard_id: int) -> List[Any]:
+    return [node for node in _PLAN.edge_nodes if _PLAN.owners[node] == shard_id]
+
+
+def _build_switch(node: Any, config: Any) -> EdgeSwitch:
+    params = _PLAN.node_params.get(node)
+    if params is None:
+        raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
+    resources, base_seed, prime = params
+    return EdgeSwitch(
+        node, resources=resources, config=config, base_seed=base_seed, prime=prime
+    )
+
+
+def _part_delta(part) -> Optional[Tuple[List[np.ndarray], List[np.ndarray]]]:
+    if part is None:
+        return None
+    return (part._counts, part._idsums)
+
+
+def _phase1_task(
+    shard_id: int,
+    data_name: str,
+    data_meta: Dict[str, Any],
+    scratch_name: str,
+    scratch_offsets: Dict[str, int],
+    key: int,
+    configs: Dict[Any, Any],
+) -> Dict[Any, Dict[str, Any]]:
+    """Classify + upstream-encode this shard's ingress switches; apply losses."""
+    from ..network.simulator import apply_victim_losses, endpoint_switch_indices
+
+    data, scratch = _attach_buffers(data_name, scratch_name)
+    columns = columns_from_buffer(data.buf, data_meta)
+    views = _scratch_views(scratch, data_meta["flows"], scratch_offsets)
+    ingress, _ = endpoint_switch_indices(columns, _PLAN.num_hosts, _HOST_EDGE)
+    deltas: Dict[Any, Dict[str, Any]] = {}
+    for node in _owned_nodes(shard_id):
+        positions = np.nonzero(ingress == _NODE_INDEX[node])[0]
+        if not positions.size:
+            continue
+        switch = _build_switch(node, configs.get(node))
+        batch = switch.process_flows_upstream_arrays(
+            columns.flow_ids[positions], columns.sizes[positions]
+        )
+        views["ll"][positions] = batch.ll
+        views["hl"][positions] = batch.hl
+        views["hh"][positions] = batch.hh
+        views["sampled"][positions] = batch.sampled
+        victim_rows = columns.is_victim[positions] & (columns.lost_packets[positions] > 0)
+        victim_positions = positions[victim_rows]
+        apply_victim_losses(
+            key,
+            victim_positions,
+            columns.lost_packets[victim_positions],
+            views["ll"],
+            views["hl"],
+            views["hh"],
+            views["sampled"],
+        )
+        group = switch.end_epoch()
+        deltas[node] = {
+            "classifier": group.classifier.tower._counters,
+            "upstream": {
+                name: _part_delta(group.upstream.parts.part(name))
+                for name in ("hh", "hl", "ll")
+            },
+            "stats": switch.stats,
+        }
+    return deltas
+
+
+def _phase2_task(
+    shard_id: int,
+    data_name: str,
+    data_meta: Dict[str, Any],
+    scratch_name: str,
+    scratch_offsets: Dict[str, int],
+    configs: Dict[Any, Any],
+) -> Dict[Any, Dict[str, Any]]:
+    """Downstream-encode this shard's egress switches from the scratch counts."""
+    from ..network.simulator import downstream_groups, endpoint_switch_indices
+
+    data, scratch = _attach_buffers(data_name, scratch_name)
+    columns = columns_from_buffer(data.buf, data_meta)
+    views = _scratch_views(scratch, data_meta["flows"], scratch_offsets)
+    _, egress = endpoint_switch_indices(columns, _PLAN.num_hosts, _HOST_EDGE)
+    deltas: Dict[Any, Dict[str, Any]] = {}
+    for node in _owned_nodes(shard_id):
+        egress_mask = egress == _NODE_INDEX[node]
+        if not egress_mask.any():
+            continue
+        switch = _build_switch(node, configs.get(node))
+        groups, packets = downstream_groups(
+            columns.flow_ids,
+            views["ll"],
+            views["hl"],
+            views["hh"],
+            views["sampled"],
+            egress_mask,
+        )
+        switch.process_flows_downstream_arrays(groups, packets)
+        group = switch.end_epoch()
+        deltas[node] = {
+            "downstream": {
+                name: _part_delta(group.downstream.parts.part(name))
+                for name in ("hl", "ll")
+            },
+            "stats": switch.stats,
+        }
+    return deltas
+
+
+# --------------------------------------------------------------------------- #
+# central merge (the linear sketch algebra)
+# --------------------------------------------------------------------------- #
+def _merge_fermat(part, state) -> None:
+    """Add a shard-shipped Fermat delta into a central part via ``add``."""
+    if part is None or state is None:
+        return
+    counts, idsums = state
+    shadow = part.empty_like()
+    shadow._counts = [np.asarray(row) for row in counts]
+    shadow._idsums = [np.asarray(row) for row in idsums]
+    part.add(shadow)
+
+
+def _merge_tower(tower, arrays) -> None:
+    """Saturating bucket-wise add of shard tower counters into a central tower."""
+    for counters, level, delta in zip(tower._counters, tower.levels, arrays):
+        counters += np.asarray(delta, dtype=np.int64)
+        np.minimum(counters, level.saturation, out=counters)
+
+
+def _merge_stats(target, delta) -> None:
+    target.packets_upstream += delta.packets_upstream
+    target.packets_downstream += delta.packets_downstream
+    target.flows_seen += delta.flows_seen
+    for hierarchy, count in delta.per_hierarchy_packets.items():
+        target.per_hierarchy_packets[hierarchy] = (
+            target.per_hierarchy_packets.get(hierarchy, 0) + count
+        )
+
+
+def merge_node_deltas(
+    switches: Dict[Any, EdgeSwitch],
+    up_deltas: Dict[Any, Dict[str, Any]],
+    down_deltas: Dict[Any, Dict[str, Any]],
+) -> None:
+    """Merge shard deltas into the central switches' (freshly rotated) groups.
+
+    Each node is owned by exactly one shard, so each central group receives at
+    most one upstream and one downstream delta; the linear add is then exact
+    (merge into empty), including the saturating Tower counters.
+    """
+    for node, delta in up_deltas.items():
+        group = switches[node].end_epoch()
+        _merge_tower(group.classifier.tower, delta["classifier"])
+        for name in ("hh", "hl", "ll"):
+            _merge_fermat(group.upstream.parts.part(name), delta["upstream"][name])
+        _merge_stats(switches[node].stats, delta["stats"])
+    for node, delta in down_deltas.items():
+        group = switches[node].end_epoch()
+        for name in ("hl", "ll"):
+            _merge_fermat(group.downstream.parts.part(name), delta["downstream"][name])
+        _merge_stats(switches[node].stats, delta["stats"])
+
+
+# --------------------------------------------------------------------------- #
+# the pool
+# --------------------------------------------------------------------------- #
+class ShardPool:
+    """Persistent worker pool executing sharded epochs over shared memory.
+
+    Workers and shared-memory buffers survive across epochs (spin-up and
+    buffer allocation are paid once); buffers grow geometrically on demand and
+    are unlinked on :meth:`close`.
+    """
+
+    def __init__(self, plan: _ShardPlan, num_shards: int) -> None:
+        self.plan = plan
+        self.num_shards = num_shards
+        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=num_shards, initializer=_init_worker, initargs=(plan,)
+        )
+        self._data_shm: Optional[shared_memory.SharedMemory] = None
+        self._scratch_shm: Optional[shared_memory.SharedMemory] = None
+
+    @classmethod
+    def for_simulator(cls, simulator, num_shards: int) -> "ShardPool":
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        plan = _ShardPlan(
+            topology=simulator.topology,
+            num_hosts=simulator.topology.num_hosts,
+            edge_nodes=list(simulator.edge_nodes),
+            owners={
+                node: index % num_shards
+                for index, node in enumerate(simulator.edge_nodes)
+            },
+            node_params={
+                node: (switch.resources, switch._base_seed, switch._prime)
+                for node, switch in simulator.switches.items()
+            },
+            num_shards=num_shards,
+        )
+        return cls(plan, num_shards)
+
+    # ------------------------------------------------------------------ #
+    def _ensure_buffers(self, num_flows: int) -> Tuple[Dict[str, int], int]:
+        data_bytes = columns_buffer_capacity(num_flows)
+        scratch_offsets, scratch_bytes = _scratch_layout(num_flows)
+        if self._data_shm is None or self._data_shm.size < data_bytes:
+            self._release_buffer("_data_shm")
+            self._data_shm = shared_memory.SharedMemory(create=True, size=data_bytes)
+        if self._scratch_shm is None or self._scratch_shm.size < scratch_bytes:
+            self._release_buffer("_scratch_shm")
+            self._scratch_shm = shared_memory.SharedMemory(
+                create=True, size=scratch_bytes
+            )
+        return scratch_offsets, num_flows
+
+    def _release_buffer(self, attr: str) -> None:
+        shm = getattr(self, attr)
+        if shm is None:
+            return
+        setattr(self, attr, None)
+        with contextlib.suppress(BufferError, OSError):
+            shm.close()
+        with contextlib.suppress(FileNotFoundError, OSError):
+            shm.unlink()
+
+    def run_epoch(
+        self, columns, key: int, configs: Dict[Any, Any]
+    ) -> Tuple[Dict[Any, Dict[str, Any]], Dict[Any, Dict[str, Any]]]:
+        """Run one epoch over the shards; returns (upstream, downstream) deltas.
+
+        ``configs`` maps each attached node to the MonitoringConfig governing
+        this epoch (workers rebuild switches from it each phase, mirroring the
+        central ``begin_epoch``).  Phase 1 must fully complete before phase 2
+        is dispatched — phase 2 reads hierarchy counts written by every shard.
+        """
+        if self._executor is None:
+            raise RuntimeError("ShardPool is closed")
+        scratch_offsets, _ = self._ensure_buffers(len(columns))
+        data_meta = pack_columns_into(self._data_shm.buf, columns)
+        common = (
+            self._data_shm.name,
+            data_meta,
+            self._scratch_shm.name,
+            scratch_offsets,
+        )
+        phase1 = [
+            self._executor.submit(_phase1_task, shard, *common, key, configs)
+            for shard in range(self.num_shards)
+        ]
+        up_deltas: Dict[Any, Dict[str, Any]] = {}
+        for future in phase1:
+            up_deltas.update(future.result())
+        phase2 = [
+            self._executor.submit(_phase2_task, shard, *common, configs)
+            for shard in range(self.num_shards)
+        ]
+        down_deltas: Dict[Any, Dict[str, Any]] = {}
+        for future in phase2:
+            down_deltas.update(future.result())
+        return up_deltas, down_deltas
+
+    @property
+    def closed(self) -> bool:
+        return self._executor is None
+
+    def close(self) -> None:
+        """Shut the workers down and unlink both shared-memory blocks."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._release_buffer("_data_shm")
+        self._release_buffer("_scratch_shm")
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# state fingerprinting (tests / benchmarks)
+# --------------------------------------------------------------------------- #
+def _part_fingerprint(part) -> Optional[Tuple[Any, Any]]:
+    if part is None:
+        return None
+    return (
+        [row.tolist() for row in part._counts],
+        [[int(value) for value in row] for row in part._idsums],
+    )
+
+
+def collect_dataplane_state(simulator) -> Dict[Any, Dict[str, Any]]:
+    """A pure-Python, ``==``-comparable snapshot of every switch's epoch state.
+
+    Used by the identity tests and the scaling benchmark to assert that serial
+    and sharded runs produce bit-identical sketches and statistics.
+    """
+    state: Dict[Any, Dict[str, Any]] = {}
+    for node in sorted(simulator.switches, key=str):
+        switch = simulator.switches[node]
+        group = switch.end_epoch()
+        stats = switch.stats
+        state[node] = {
+            "classifier": [row.tolist() for row in group.classifier.tower._counters],
+            "upstream": {
+                name: _part_fingerprint(group.upstream.parts.part(name))
+                for name in ("hh", "hl", "ll")
+            },
+            "downstream": {
+                name: _part_fingerprint(group.downstream.parts.part(name))
+                for name in ("hl", "ll")
+            },
+            "stats": (
+                stats.packets_upstream,
+                stats.packets_downstream,
+                stats.flows_seen,
+                tuple(
+                    sorted(
+                        (hierarchy.name, count)
+                        for hierarchy, count in stats.per_hierarchy_packets.items()
+                    )
+                ),
+            ),
+        }
+    return state

@@ -786,6 +786,79 @@ def _decode_state(simulator):
     return state
 
 
+@scenario(
+    "fabric_scale",
+    title="large-fabric epochs over the (optionally sharded) data plane",
+    params=dict(
+        k=8,
+        flows=1_000_000,
+        epochs=3,
+        victim_ratio=0.02,
+        loss_rate=0.05,
+        workload="DCTCP",
+        scale=0.05,
+        shards=0,
+    ),
+    seed=5,
+    smoke=dict(flows=3000, epochs=1),
+    tags=("bench", "sharded"),
+)
+def fabric_scale_point(params: Dict[str, Any], seed: int) -> List[Dict[str, Any]]:
+    """Epoch throughput on a k-ary fat-tree fabric at millions of flows.
+
+    ``shards=N`` fans the data plane out over the persistent worker pool
+    (bit-identical to serial; ``shards=0`` runs serially).  Flow IDs are
+    uint64 (not 104-bit five-tuples) so the Fermat IDsums stay on the
+    vectorized narrow-prime path — hence ``MERSENNE_PRIME_61``.
+    """
+    from ..core.runner import ChameleMon
+    from ..dataplane.config import SwitchResources
+    from ..network.topology import FatTreeSpec, FatTreeTopology
+    from ..sketches.fermat import MERSENNE_PRIME_61
+    from ..traffic.generator import generate_workload
+
+    shards = int(params["shards"]) or None
+    system = ChameleMon(
+        resources=SwitchResources.scaled(params["scale"]),
+        seed=seed,
+        prime=MERSENNE_PRIME_61,
+        topology=FatTreeTopology(FatTreeSpec(k=params["k"])),
+        history_limit=2,
+        destructive_analysis=True,
+        shards=shards,
+    )
+    rows = []
+    try:
+        for epoch in range(params["epochs"]):
+            trace = generate_workload(
+                params["workload"],
+                num_flows=params["flows"],
+                victim_ratio=params["victim_ratio"],
+                loss_rate=params["loss_rate"],
+                num_hosts=system.num_hosts,
+                seed=seed + epoch,
+                use_five_tuple=False,
+            )
+            start = time.perf_counter()
+            result = system.run_epoch(trace)
+            seconds = time.perf_counter() - start
+            rows.append(
+                {
+                    "epoch": epoch,
+                    "flows": len(trace),
+                    "packets": trace.num_packets(),
+                    "seconds": seconds,
+                    "epochs_per_s": 1.0 / max(seconds, 1e-9),
+                    "shards": shards or 0,
+                    "loss_f1": result.loss_accuracy()["f1"],
+                    "level": result.level.value,
+                }
+            )
+    finally:
+        system.close()
+    return rows
+
+
 # --------------------------------------------------------------------------- #
 # Streaming telemetry (repro.stream)
 # --------------------------------------------------------------------------- #

@@ -48,12 +48,39 @@ def execute_point(name: str, params: Dict[str, Any], seed: int) -> RunResult:
 
 
 class SweepRunner:
-    """Executes scenarios point by point, optionally across processes."""
+    """Executes scenarios point by point, optionally across processes.
 
-    def __init__(self, jobs: int = 1):
+    The process pool is *persistent*: the first parallel ``run()`` spins it
+    up and subsequent runs reuse it, so repeated sweeps (interactive sessions,
+    benchmarks, batched CLI invocations) pay executor start-up once.  Use the
+    runner as a context manager — or call :meth:`close` — to release it; an
+    externally owned pool can also be injected via ``pool=`` (it is then
+    never shut down by the runner).
+    """
+
+    def __init__(self, jobs: int = 1, pool: Optional[ProcessPoolExecutor] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the pool if this runner created it (injected pools stay up)."""
+        pool, self._pool = self._pool, None
+        if pool is not None and self._owns_pool:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self,
@@ -82,16 +109,16 @@ class SweepRunner:
                     point_callback(result)
                 results.append(result)
         else:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(points))) as pool:
-                futures = [
-                    pool.submit(_execute, spec.name, spec.func, params, point_seed)
-                    for params, point_seed in zip(points, seeds)
-                ]
-                for future in futures:
-                    result = future.result()
-                    if point_callback is not None:
-                        point_callback(result)
-                    results.append(result)
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_execute, spec.name, spec.func, params, point_seed)
+                for params, point_seed in zip(points, seeds)
+            ]
+            for future in futures:
+                result = future.result()
+                if point_callback is not None:
+                    point_callback(result)
+                results.append(result)
         wall_seconds = time.perf_counter() - start
         return SweepResult(
             scenario=spec.name,
@@ -111,4 +138,5 @@ def run_scenario(
     jobs: int = 1,
 ) -> SweepResult:
     """Convenience wrapper: ``SweepRunner(jobs).run(name, overrides, seed)``."""
-    return SweepRunner(jobs=jobs).run(name, overrides=overrides, seed=seed)
+    with SweepRunner(jobs=jobs) as runner:
+        return runner.run(name, overrides=overrides, seed=seed)

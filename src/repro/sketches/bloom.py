@@ -67,6 +67,23 @@ class BloomFilter:
         set_bits = sum(bin(byte).count("1") for byte in self._bits)
         return set_bits / self.num_bits
 
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """In-place bitwise OR of a compatible filter.
+
+        Exact: a Bloom filter's bit array is the OR of its keys' bit patterns,
+        so the union of two filters equals the filter of the union of their
+        key sets.
+        """
+        if (
+            not isinstance(other, BloomFilter)
+            or self.num_bits != other.num_bits
+            or self.num_hashes != other.num_hashes
+        ):
+            raise ValueError("BloomFilter instances must share geometry to be merged")
+        for i in range(len(self._bits)):
+            self._bits[i] |= other._bits[i]
+        return self
+
     def clear(self) -> None:
         for i in range(len(self._bits)):
             self._bits[i] = 0

@@ -76,6 +76,19 @@ class CountMinSketch(FrequencySketch):
             estimates = values if estimates is None else np.minimum(estimates, values)
         return estimates if estimates is not None else np.zeros(0, dtype=np.int64)
 
+    def add(self, other: "CountMinSketch") -> "CountMinSketch":
+        """In-place bucket-wise merge of a compatible sketch (exact: CM is linear)."""
+        if (
+            not isinstance(other, CountMinSketch)
+            or self.width != other.width
+            or self.depth != other.depth
+        ):
+            raise ValueError("CountMinSketch instances must share geometry to be added")
+        if self._hashes != other._hashes:
+            raise ValueError("CountMinSketch instances must share hash seeds to be added")
+        self._counters += other._counters
+        return self
+
 
 class CUSketch(FrequencySketch):
     """CU sketch (conservative update variant of Count-Min).

@@ -71,6 +71,20 @@ class CountSketch(FrequencySketch):
             return max(0, estimates[mid])
         return max(0, (estimates[mid - 1] + estimates[mid]) // 2)
 
+    def add(self, other: "CountSketch") -> "CountSketch":
+        """In-place bucket-wise merge of a compatible sketch (exact: the signed
+        scatter-add is linear)."""
+        if (
+            not isinstance(other, CountSketch)
+            or self.width != other.width
+            or self.depth != other.depth
+        ):
+            raise ValueError("CountSketch instances must share geometry to be added")
+        if self._hashes != other._hashes or self._signs != other._signs:
+            raise ValueError("CountSketch instances must share hash seeds to be added")
+        self._counters += other._counters
+        return self
+
 
 class CountHeap(HeavyHitterSketch, FrequencySketch):
     """Count sketch plus a top-k min-heap of candidate heavy hitters."""

@@ -122,6 +122,31 @@ class FlowRadar(InvertibleSketch):
                 self._flow_count[j] += 1
             self._packet_count[j] += count
 
+    def add(self, other: "FlowRadar") -> "FlowRadar":
+        """In-place merge of a compatible FlowRadar (cell-wise add + Bloom OR).
+
+        Exact for *flow-disjoint* partitions on filter-consistent states: the
+        counting-table cells are linear and the Bloom union equals the filter
+        of the combined flow set.  If a flow was inserted into both operands,
+        or a Bloom false positive suppressed a flow record in one partition
+        that the combined stream would have recorded, the merged table can
+        differ from single-stream encoding — the same caveat as
+        :meth:`decode` on inconsistent states.
+        """
+        if (
+            not isinstance(other, FlowRadar)
+            or self.num_cells != other.num_cells
+            or self.num_hashes != other.num_hashes
+        ):
+            raise ValueError("FlowRadar instances must share geometry to be added")
+        if self._hashes != other._hashes:
+            raise ValueError("FlowRadar instances must share hash seeds to be added")
+        self._flow_filter.union(other._flow_filter)
+        self._flow_xor ^= other._flow_xor
+        self._flow_count += other._flow_count
+        self._packet_count += other._packet_count
+        return self
+
     # ------------------------------------------------------------------ #
     def decode(self, vectorized: bool = True) -> DecodeResult:
         """Peel the counting table to recover every (flow, size) pair.

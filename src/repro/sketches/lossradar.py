@@ -165,6 +165,25 @@ class LossRadar(InvertibleSketch):
             np.add.at(self._count, cells, 1)
             np.bitwise_xor.at(self._xorsum, cells, identifiers)
 
+    def add(self, other: "LossRadar") -> "LossRadar":
+        """In-place merge of a compatible LossRadar (exact: the IBF is linear).
+
+        Partitioned insertion is exact when the partitions' *packet identifier*
+        sets are disjoint — e.g. flow-disjoint partitions, since identifiers
+        embed the flow ID.
+        """
+        if (
+            self.num_cells != other.num_cells
+            or self.num_hashes != other.num_hashes
+        ):
+            raise ValueError("LossRadar instances must share geometry to be added")
+        self._count += other._count
+        self._xorsum ^= other._xorsum
+        return self
+
+    def __add__(self, other: "LossRadar") -> "LossRadar":
+        return self.copy().add(other)
+
     def subtract(self, other: "LossRadar") -> "LossRadar":
         """In-place subtraction; the result encodes packets seen here but not there."""
         if (

@@ -183,6 +183,27 @@ class TowerSketch(FrequencySketch):
     def level_saturation(self, level_index: int) -> int:
         return self.levels[level_index].saturation
 
+    def add(self, other: "TowerSketch") -> "TowerSketch":
+        """In-place bucket-wise saturating merge of a compatible TowerSketch.
+
+        Exact: per counter the serial value is ``min(total, sat)`` (increments
+        are non-negative, so intermediate clamps never matter), and
+        ``min(min(a, sat) + min(b, sat), sat) == min(a + b, sat)`` for any
+        split ``total = a + b``.  Merging partitioned streams therefore yields
+        bit-identical counters to inserting the concatenated stream.
+        """
+        if not isinstance(other, TowerSketch) or self.levels != other.levels:
+            raise ValueError("TowerSketch instances must share level geometry to be added")
+        if self._hashes != other._hashes:
+            raise ValueError("TowerSketch instances must share hash seeds to be added")
+        for level, mine, theirs in zip(self.levels, self._counters, other._counters):
+            mine += theirs
+            np.minimum(mine, level.saturation, out=mine)
+        return self
+
+    def __add__(self, other: "TowerSketch") -> "TowerSketch":
+        return self.copy().add(other)
+
     def reset(self) -> None:
         """Zero every counter (epoch rotation re-uses the structure)."""
         for counters in self._counters:

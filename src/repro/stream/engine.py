@@ -126,6 +126,7 @@ class StreamingEngine:
         rolling_window: int = 8,
         compute_tasks: bool = False,
         heavy_hitter_threshold: int = 500,
+        shards: Optional[int] = None,
     ) -> None:
         if rolling_window < 1:
             raise ValueError("rolling_window must be >= 1")
@@ -151,6 +152,7 @@ class StreamingEngine:
             # The engine owns the collected groups and drops them right after
             # analysis, so the controller may decode them in place.
             destructive_analysis=True,
+            shards=shards,
         )
         self.conditions = NetworkConditions(self.system.simulator.topology, seed=seed)
         self._resident = _ResidentTracker()
@@ -197,6 +199,7 @@ class StreamingEngine:
                 pool.shutdown(wait=True)
             for sink in self.sinks:
                 sink.close()
+            self.system.close()
 
     def _run_loop(
         self, pool: Optional[ThreadPoolExecutor], max_epochs: Optional[int]
