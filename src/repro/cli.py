@@ -24,6 +24,16 @@ flow bursts, per-epoch JSONL/CSV sinks — in O(epoch) memory::
     python -m repro.cli stream --trace traffic.jsonl --csv - --quiet
     python -m repro.cli stream --fail-epoch 4 --recover-epoch 8
 
+``serve`` promotes the stream to an always-on telemetry service
+(:mod:`repro.service`): periodic ``.rtck`` checkpoints with bit-identical
+``--resume``, threshold alerting, JSONL device state-diff ingestion, and
+graceful SIGINT/SIGTERM shutdown::
+
+    python -m repro.cli serve --epochs 32 --checkpoint run.rtck \
+        --state-diffs churn.jsonl --alert-f1-floor 0.9 --jsonl run.jsonl
+    python -m repro.cli serve --epochs 32 --checkpoint run.rtck --resume ...
+    python -m repro.cli serve --checkpoint run.rtck --inspect
+
 The historical per-figure sub-commands (``fig4``, ``fig7`` … ``demo``) remain
 as aliases that map their legacy flags onto scenario overrides and route
 through the same registry.
@@ -327,6 +337,31 @@ def _parse_phases(text: str):
     return phases
 
 
+def _build_stream_source(args: argparse.Namespace, seed: int, loss_rate):
+    """The trace source the ``stream``/``serve`` flags describe (shared)."""
+    from .stream import Phase, SyntheticSource, TraceFileSource
+
+    if args.trace:
+        if not os.path.isfile(args.trace):
+            raise ScenarioError(f"trace file '{args.trace}' does not exist")
+        return TraceFileSource(args.trace, flows_per_epoch=args.flows_per_epoch)
+    from .traffic.distributions import get_distribution
+
+    get_distribution(args.workload)  # fail fast on unknown workloads
+    phase_text = args.phases or "400:0.05:6,800:0.15:6,400:0.05:6"
+    phases = [
+        Phase(
+            epochs=phase.epochs,
+            num_flows=phase.num_flows,
+            victim_ratio=phase.victim_ratio,
+            loss_rate=loss_rate if loss_rate is not None else 0.05,
+            workload=args.workload,
+        )
+        for phase in _parse_phases(phase_text)
+    ]
+    return SyntheticSource(phases=phases, seed=seed)
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     """Run the continuous streaming engine from the command line."""
     from .dataplane.config import SwitchResources
@@ -338,10 +373,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         JsonlSink,
         LinkFailureEvent,
         LinkRecoveryEvent,
-        Phase,
         StreamingEngine,
-        SyntheticSource,
-        TraceFileSource,
     )
 
     if args.jsonl_out == "-" and args.csv_out == "-":
@@ -352,26 +384,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     scale = getattr(args, "scale", None)
     loss_rate = getattr(args, "loss_rate", None)
     try:
-        if args.trace:
-            if not os.path.isfile(args.trace):
-                raise ScenarioError(f"trace file '{args.trace}' does not exist")
-            source = TraceFileSource(args.trace, flows_per_epoch=args.flows_per_epoch)
-        else:
-            from .traffic.distributions import get_distribution
-
-            get_distribution(args.workload)  # fail fast on unknown workloads
-            phase_text = args.phases or "400:0.05:6,800:0.15:6,400:0.05:6"
-            phases = [
-                Phase(
-                    epochs=phase.epochs,
-                    num_flows=phase.num_flows,
-                    victim_ratio=phase.victim_ratio,
-                    loss_rate=loss_rate if loss_rate is not None else 0.05,
-                    workload=args.workload,
-                )
-                for phase in _parse_phases(phase_text)
-            ]
-            source = SyntheticSource(phases=phases, seed=seed)
+        source = _build_stream_source(args, seed, loss_rate)
     except (ScenarioError, ValueError, KeyError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -435,6 +448,124 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"{summary.wall_seconds:.2f}s ({summary.epochs_per_second:.2f} epochs/s, "
         f"{summary.packets_per_second:,.0f} pkt/s), peak resident "
         f"{summary.peak_resident_flows} flows, mean F1 {summary.mean_f1:.3f}",
+        file=stream,
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# always-on service
+# --------------------------------------------------------------------------- #
+def _build_alert_engine(args: argparse.Namespace):
+    """The alert engine the ``serve`` flags describe (None when no rules)."""
+    from .service import (
+        AlertEngine,
+        ConsoleAlertSink,
+        DecodeFailureStreak,
+        EpochLatencySlo,
+        JsonlAlertSink,
+        RollingAreCeiling,
+        RollingF1Floor,
+    )
+
+    rules = []
+    if args.alert_f1_floor is not None:
+        rules.append(RollingF1Floor(args.alert_f1_floor, warmup=args.alert_warmup))
+    if args.alert_are_ceiling is not None:
+        rules.append(RollingAreCeiling(args.alert_are_ceiling, warmup=args.alert_warmup))
+    if args.alert_decode_streak is not None:
+        rules.append(DecodeFailureStreak(args.alert_decode_streak))
+    if args.alert_latency_ms is not None:
+        rules.append(EpochLatencySlo(args.alert_latency_ms))
+    if not rules:
+        return None
+    sinks = []
+    if args.alerts_out:
+        sinks.append(JsonlAlertSink(args.alerts_out))
+    if not args.quiet:
+        sinks.append(ConsoleAlertSink())
+    return AlertEngine(rules, sinks=sinks)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on telemetry service: stream + checkpoints + alerts."""
+    from .dataplane.config import SwitchResources
+    from .service import (
+        CheckpointError,
+        NetworkStateError,
+        TelemetryService,
+        compile_state_diffs,
+        inspect_checkpoint,
+        read_state_diffs,
+    )
+    from .stream import ConsoleSink, CsvSink, JsonlSink, StreamingEngine
+
+    if args.inspect:
+        if not args.checkpoint:
+            print("error: --inspect needs --checkpoint PATH", file=sys.stderr)
+            return 2
+        try:
+            print(json.dumps(inspect_checkpoint(args.checkpoint), indent=2))
+        except CheckpointError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if args.jsonl_out == "-" and args.csv_out == "-":
+        print("error: --jsonl - and --csv - cannot share stdout; write one "
+              "of them to a file", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint PATH", file=sys.stderr)
+        return 2
+    seed = args.seed if getattr(args, "seed", None) is not None else 0
+    scale = getattr(args, "scale", None)
+    loss_rate = getattr(args, "loss_rate", None)
+    try:
+        source = _build_stream_source(args, seed, loss_rate)
+        events = ()
+        if args.state_diffs:
+            events = compile_state_diffs(read_state_diffs(args.state_diffs))
+    except (ScenarioError, NetworkStateError, ValueError, KeyError, OSError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    sinks = []
+    if args.jsonl_out:
+        sinks.append(JsonlSink(args.jsonl_out))
+    if args.csv_out:
+        sinks.append(CsvSink(args.csv_out))
+    stdout_taken = args.jsonl_out == "-" or args.csv_out == "-"
+    if not args.quiet and not stdout_taken:
+        sinks.append(ConsoleSink())
+
+    engine = StreamingEngine(
+        source,
+        events=events,
+        sinks=sinks,
+        resources=SwitchResources.scaled(scale if scale is not None else 0.05),
+        seed=seed,
+        pipelined=not args.serial,
+        rolling_window=args.rolling_window,
+        shards=args.shards,
+    )
+    service = TelemetryService(
+        engine,
+        alert_engine=_build_alert_engine(args),
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        handle_signals=True,
+    )
+    try:
+        summary = service.run(max_epochs=args.epochs, resume=args.resume)
+    except CheckpointError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
+    checkpoint_note = f", checkpoint {args.checkpoint}" if args.checkpoint else ""
+    print(
+        f"[serve] {summary.epochs} epochs, {summary.packets} packets in "
+        f"{summary.wall_seconds:.2f}s ({summary.epochs_per_second:.2f} epochs/s), "
+        f"mean F1 {summary.mean_f1:.3f}{checkpoint_note}",
         file=stream,
     )
     return 0
@@ -855,6 +986,73 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--quiet", action="store_true",
                      help="suppress the per-epoch console line")
     sub.set_defaults(handler=cmd_stream)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="run the always-on telemetry service (checkpoints, alerts, "
+             "state-diff ingestion, graceful shutdown)",
+    )
+    sub.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    sub.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                     help="switch-resource scale (default 0.05)")
+    sub.add_argument("--loss-rate", type=float, dest="loss_rate",
+                     default=argparse.SUPPRESS,
+                     help="victim packet-loss rate of the synthetic phases")
+    sub.add_argument("--shards", type=int, default=None,
+                     help="shard the data plane across N worker processes")
+    sub.add_argument("--phases", metavar="F:R:E[,...]",
+                     help="phase schedule as flows:victim_ratio:epochs groups "
+                          "(default 400:0.05:6,800:0.15:6,400:0.05:6)")
+    sub.add_argument("--workload", default="DCTCP",
+                     help="flow-size distribution of the synthetic phases")
+    sub.add_argument("--trace", metavar="PATH",
+                     help="replay a JSONL/CSV trace file instead of synthesising")
+    sub.add_argument("--flows-per-epoch", type=int, dest="flows_per_epoch",
+                     help="epoch chunk size for trace files without an epoch column")
+    sub.add_argument("--epochs", type=int, default=None,
+                     help="stop at epoch N (absolute: a resumed run continues "
+                          "to the same boundary)")
+    sub.add_argument("--serial", action="store_true",
+                     help="disable the double-buffered pipeline (debugging)")
+    sub.add_argument("--rolling-window", type=int, dest="rolling_window", default=8,
+                     help="epochs in the rolling F1/ARE window")
+    sub.add_argument("--state-diffs", dest="state_diffs", metavar="PATH",
+                     help="JSONL device state-diff feed compiled into the "
+                          "event schedule (oper-status, loss-rate, ecmp)")
+    sub.add_argument("--checkpoint", metavar="PATH",
+                     help="write .rtck checkpoints here (and resume from it)")
+    sub.add_argument("--checkpoint-interval", type=int, dest="checkpoint_interval",
+                     default=1, metavar="N",
+                     help="checkpoint every N epochs (0 = only at shutdown)")
+    sub.add_argument("--resume", action="store_true",
+                     help="restore from --checkpoint if it exists and continue "
+                          "bit-identically")
+    sub.add_argument("--inspect", action="store_true",
+                     help="print a summary of --checkpoint and exit")
+    sub.add_argument("--alerts", dest="alerts_out", metavar="PATH",
+                     help="append one JSON object per alert transition")
+    sub.add_argument("--alert-f1-floor", type=float, dest="alert_f1_floor",
+                     default=None, metavar="F1",
+                     help="fire while the rolling F1 sits below this floor")
+    sub.add_argument("--alert-are-ceiling", type=float, dest="alert_are_ceiling",
+                     default=None, metavar="ARE",
+                     help="fire while the rolling ARE exceeds this ceiling")
+    sub.add_argument("--alert-decode-streak", type=int, dest="alert_decode_streak",
+                     default=None, metavar="N",
+                     help="fire after N consecutive epochs with decode failures")
+    sub.add_argument("--alert-latency-ms", type=float, dest="alert_latency_ms",
+                     default=None, metavar="MS",
+                     help="fire while an epoch's wall time exceeds this SLO")
+    sub.add_argument("--alert-warmup", type=int, dest="alert_warmup", default=0,
+                     metavar="N",
+                     help="skip the F1/ARE rules for the first N epochs")
+    sub.add_argument("--jsonl", dest="jsonl_out", metavar="PATH",
+                     help="append one JSON record per epoch ('-' for stdout)")
+    sub.add_argument("--csv", dest="csv_out", metavar="PATH",
+                     help="append one CSV row per epoch ('-' for stdout)")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress the per-epoch console line")
+    sub.set_defaults(handler=cmd_serve)
 
     sub = subparsers.add_parser("fig4", parents=[common],
                                 help="loss-detection overhead vs. number of victim flows")

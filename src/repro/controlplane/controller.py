@@ -180,3 +180,28 @@ class CentralController:
         if self.history_limit is not None and len(self.history) > self.history_limit:
             del self.history[: len(self.history) - self.history_limit]
         return report
+
+    # ------------------------------------------------------------------ #
+    # service checkpoints
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """The controller state a service checkpoint must capture.
+
+        ``history`` is observability, not input — no future decision reads
+        it — so only the epoch counter, the attention level, and the sampling
+        RNG (consumed by victim-population estimation when ``sample_rate``
+        drops below 1) are serialized.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "epoch_index": self._epoch_index,
+            "level": self.attention.level.value,
+            "rng": {"version": version, "state": list(internal), "gauss": gauss},
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a boundary snapshot onto a freshly constructed controller."""
+        self._epoch_index = int(state["epoch_index"])
+        self.attention.level = NetworkLevel(state["level"])
+        rng = state["rng"]
+        self._rng.setstate((rng["version"], tuple(rng["state"]), rng["gauss"]))

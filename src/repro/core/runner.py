@@ -154,6 +154,42 @@ class ChameleMon:
         """Release the sharded worker pool, if one was spun up."""
         self.simulator.close()
 
+    # ------------------------------------------------------------------ #
+    # service checkpoints
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """Everything a service checkpoint needs to continue bit-identically.
+
+        Valid at an epoch boundary (after :meth:`run_epoch` returned): the
+        live sketch groups are about to be rebuilt from the switches' pending
+        configurations by the next rotation, so the snapshot is the pending
+        configs plus the stateful counters and RNGs — no counter arrays.
+        """
+        return {
+            "epochs_run": self._epochs_run,
+            "controller": self.controller.snapshot_state(),
+            "simulator": self.simulator.snapshot_state(),
+            "switches": [
+                {"node": list(node), **switch.snapshot_state()}
+                for node, switch in sorted(self.simulator.switches.items())
+            ],
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a boundary snapshot onto a freshly constructed deployment."""
+        snapshot_nodes = [tuple(entry["node"]) for entry in state["switches"]]
+        if sorted(snapshot_nodes) != sorted(self.simulator.switches):
+            raise ValueError(
+                "checkpoint topology does not match this deployment: snapshot "
+                f"has switches {sorted(snapshot_nodes)}, deployment has "
+                f"{sorted(self.simulator.switches)}"
+            )
+        self._epochs_run = int(state["epochs_run"])
+        self.controller.restore_state(state["controller"])
+        self.simulator.restore_state(state["simulator"])
+        for entry in state["switches"]:
+            self.simulator.switches[tuple(entry["node"])].restore_state(entry)
+
     def run_until_stable(
         self,
         trace_factory: Callable[[int], Trace],

@@ -54,6 +54,18 @@ class EncoderLayout:
         if self.m_hl <= 0:
             raise ValueError("the HL encoder must always have at least one bucket")
 
+    def to_dict(self) -> dict:
+        """JSON-able form, for service checkpoints."""
+        return {"m_hh": self.m_hh, "m_hl": self.m_hl, "m_ll": self.m_ll}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EncoderLayout":
+        return cls(
+            m_hh=int(payload["m_hh"]),
+            m_hl=int(payload["m_hl"]),
+            m_ll=int(payload["m_ll"]),
+        )
+
 
 @dataclass(frozen=True)
 class MonitoringConfig:
@@ -80,6 +92,24 @@ class MonitoringConfig:
             f"layout(HH={self.layout.m_hh}, HL={self.layout.m_hl}, LL={self.layout.m_ll}) "
             f"T_h={self.threshold_high} T_l={self.threshold_low} "
             f"sample={self.sample_rate:.3f}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form, for service checkpoints."""
+        return {
+            "layout": self.layout.to_dict(),
+            "threshold_high": self.threshold_high,
+            "threshold_low": self.threshold_low,
+            "sample_rate": self.sample_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MonitoringConfig":
+        return cls(
+            layout=EncoderLayout.from_dict(payload["layout"]),
+            threshold_high=int(payload["threshold_high"]),
+            threshold_low=int(payload["threshold_low"]),
+            sample_rate=float(payload["sample_rate"]),
         )
 
 

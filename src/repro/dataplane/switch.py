@@ -136,6 +136,30 @@ class EdgeSwitch:
         self.begin_epoch()
         return finished
 
+    # ------------------------------------------------------------------ #
+    # service checkpoints
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """The switch state a service checkpoint must capture.
+
+        Taken at an epoch boundary (after collection and ``apply_config``),
+        the live sketch group is about to be discarded by the next
+        :meth:`begin_epoch` rotation, so the pending configuration and the
+        epoch counter fully determine the switch's future behaviour — groups
+        are rebuilt deterministically from ``(_base_seed, config)``.
+        """
+        return {
+            "epoch_index": self._epoch_index,
+            "pending_config": self._pending_config.to_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a boundary snapshot onto a freshly constructed switch."""
+        config = MonitoringConfig.from_dict(state["pending_config"])
+        self.resources.validate_layout(config.layout)
+        self._pending_config = config
+        self._epoch_index = int(state["epoch_index"])
+
     def memory_bytes(self) -> int:
         """Memory of the active group (the standby group mirrors it)."""
         return self._active.memory_bytes()

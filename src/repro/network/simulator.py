@@ -581,6 +581,31 @@ class NetworkSimulator:
         """The persistent shard pool, if a sharded epoch has run (else None)."""
         return self._shard_pool
 
+    # ------------------------------------------------------------------ #
+    # service checkpoints
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """The simulator state a service checkpoint must capture.
+
+        The epoch counter keys the counter-based loss sub-streams
+        (:func:`epoch_loss_key`), so restoring it makes every post-resume
+        loss draw identical to the uninterrupted run's — for any shard
+        count, since the draws are partition-independent by construction.
+        The shard pool itself is *not* checkpointed: workers are stateless
+        between epochs and the pool is rebuilt lazily on the next epoch.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "epoch_counter": self._epoch_counter,
+            "rng": {"version": version, "state": list(internal), "gauss": gauss},
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a boundary snapshot onto a freshly constructed simulator."""
+        self._epoch_counter = int(state["epoch_counter"])
+        rng = state["rng"]
+        self._rng.setstate((rng["version"], tuple(rng["state"]), rng["gauss"]))
+
     def close(self) -> None:
         """Shut down the shard pool (workers and shared-memory buffers)."""
         if self._shard_pool is not None:

@@ -1026,6 +1026,125 @@ def stream_multitenant_point(params: Dict[str, Any], seed: int) -> Dict[str, Any
     return _stream_output(sink.records, summary)
 
 
+@scenario(
+    "serve_churn",
+    title="always-on service under a device state-diff churn feed",
+    params=dict(
+        workload="DCTCP",
+        flows=600,
+        epochs=16,
+        victim_ratio=0.08,
+        loss_rate=0.05,
+        churn_period=4,
+        gray_loss=0.5,
+        shift_rate=0.2,
+        interrupt_epoch=8,
+        checkpoint_interval=2,
+        f1_floor=0.85,
+        alert_warmup=2,
+        scale=0.05,
+        pipelined=True,
+        rolling_window=4,
+    ),
+    seed=53,
+    smoke=dict(flows=200, epochs=8, churn_period=3, interrupt_epoch=4),
+    tags=("stream", "service"),
+)
+def serve_churn_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """The telemetry service: churn diffs in, checkpoint mid-run, resume.
+
+    Ingests a synthesized device state-diff feed, runs the service to an
+    interrupt point, then resumes from the checkpoint and verifies the
+    combined record stream is bit-identical to an uninterrupted run.  Rows
+    are the (resumed) per-epoch records; extras carry the alert transitions
+    and the identity verdict.
+    """
+    import os
+    import tempfile
+
+    from ..dataplane.config import SwitchResources
+    from ..service import (
+        AlertEngine,
+        MemoryAlertSink,
+        RollingF1Floor,
+        TelemetryService,
+        compile_state_diffs,
+        synthesize_churn_diffs,
+    )
+    from ..stream import MemorySink, StreamingEngine, SyntheticSource
+    from ..stream.engine import comparable
+
+    diffs = synthesize_churn_diffs(
+        epochs=params["epochs"],
+        period=params["churn_period"],
+        gray_loss=params["gray_loss"],
+        shift_rate=params["shift_rate"],
+    )
+    schedule = compile_state_diffs(diffs)
+
+    def build(sink, alert_sink):
+        source = SyntheticSource.steady(
+            num_flows=params["flows"],
+            epochs=params["epochs"],
+            victim_ratio=params["victim_ratio"],
+            loss_rate=params["loss_rate"],
+            workload=params["workload"],
+            seed=seed,
+        )
+        engine = StreamingEngine(
+            source,
+            events=schedule,
+            sinks=[sink],
+            resources=SwitchResources.scaled(params["scale"]),
+            seed=seed,
+            pipelined=params["pipelined"],
+            rolling_window=params["rolling_window"],
+        )
+        alerts = AlertEngine(
+            [RollingF1Floor(params["f1_floor"], warmup=params["alert_warmup"])],
+            sinks=[alert_sink],
+        )
+        return engine, alerts
+
+    with tempfile.TemporaryDirectory(prefix="serve_churn_") as tmp:
+        checkpoint = os.path.join(tmp, "serve_churn.rtck")
+        # The uninterrupted reference run (no checkpointing).
+        reference_sink = MemorySink()
+        engine, alerts = build(reference_sink, MemoryAlertSink())
+        TelemetryService(engine, alert_engine=alerts).run(
+            max_epochs=params["epochs"]
+        )
+        # The service run: stop at the interrupt point, then resume.
+        part_sink, resume_sink = MemorySink(), MemorySink()
+        part_alerts, resume_alerts = MemoryAlertSink(), MemoryAlertSink()
+        engine, alerts = build(part_sink, part_alerts)
+        TelemetryService(
+            engine,
+            alert_engine=alerts,
+            checkpoint_path=checkpoint,
+            checkpoint_interval=params["checkpoint_interval"],
+        ).run(max_epochs=params["interrupt_epoch"])
+        engine, alerts = build(resume_sink, resume_alerts)
+        summary = TelemetryService(
+            engine,
+            alert_engine=alerts,
+            checkpoint_path=checkpoint,
+            checkpoint_interval=params["checkpoint_interval"],
+        ).run(max_epochs=params["epochs"], resume=True)
+
+    combined = part_sink.records + resume_sink.records
+    identical = [comparable(r) for r in combined] == [
+        comparable(r) for r in reference_sink.records
+    ]
+    transitions = [a.to_dict() for a in part_alerts.alerts + resume_alerts.alerts]
+    output = _stream_output(combined, summary)
+    output["extras"]["resume_identical"] = identical
+    output["extras"]["interrupt_epoch"] = params["interrupt_epoch"]
+    output["extras"]["state_diffs"] = [diff.to_dict() for diff in diffs]
+    output["extras"]["alerts"] = transitions
+    return output
+
+
 # --------------------------------------------------------------------------- #
 # Full-system demo
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,276 @@
+"""Network-state diff ingestion: device config/state diffs -> event schedules.
+
+Operators observe networks as streams of device config/state *diffs* —
+interface oper-status flaps, ECMP membership changes, loss-rate counters —
+not as hand-authored fault schedules.  This adapter ingests a small
+JSONL/YANG-flavored diff schema (openconfig-style paths, one diff per line)
+and compiles it into the :class:`~repro.stream.events.EventSchedule` the
+streaming engine already consumes, so churn runs are driven by the same
+artifacts a real telemetry pipeline would emit.
+
+One diff line::
+
+    {"epoch": 4, "device": "edge0",
+     "path": "interfaces/interface[name=to-host2]/state/oper-status",
+     "op": "replace", "value": "DOWN"}
+
+Supported path families (matched structurally, not by exact string):
+
+* ``interfaces/interface[name=to-X]/state/oper-status`` with value
+  ``DOWN``/``UP`` — a hard link failure/recovery on the ``device <-> X``
+  link (:class:`LinkFailureEvent` at loss rate 1.0 / :class:`LinkRecoveryEvent`).
+* ``interfaces/interface[name=to-X]/state/counters/loss-rate`` with a float
+  value — a grey failure on that link at the given loss rate; 0 (or null)
+  clears it.
+* ``.../ecmp/members/member[name=to-X]`` with op ``remove``/``add`` — an
+  ECMP path withdrawn from (restored to) the group, modelled as a hard
+  failure/recovery of the member link.
+* ``qos/.../loss-rate`` on the pseudo-device ``fabric`` — a fabric-wide
+  loss-rate shift of the victim flows (:class:`LossRateShiftEvent`); null
+  restores the source's own rates.
+
+Devices use the fabric's node naming (``edge0``, ``agg1``, ``core0``,
+``host3``); interfaces and ECMP members are named for the peer they lead to
+(``to-host2``).  Anything else fails fast with :class:`NetworkStateError`
+and the offending line number.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..network.topology import FatTreeTopology, NodeId
+from ..stream.events import (
+    EventSchedule,
+    LinkFailureEvent,
+    LinkRecoveryEvent,
+    LossRateShiftEvent,
+    StreamEvent,
+)
+
+#: The pseudo-device carrying fabric-wide (non-link) state.
+FABRIC_DEVICE = "fabric"
+
+_DEVICE_RE = re.compile(r"^(edge|agg|core|host)(\d+)$")
+_NAME_KEY_RE = re.compile(r"\[name=([^\]]+)\]")
+_OPS = ("replace", "add", "remove")
+
+
+class NetworkStateError(ValueError):
+    """A diff line does not parse or does not map onto the fabric."""
+
+
+@dataclass(frozen=True)
+class StateDiff:
+    """One device config/state diff, pinned to the epoch boundary it fires at."""
+
+    epoch: int
+    device: str
+    path: str
+    op: str = "replace"
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise NetworkStateError(f"diff epoch must be >= 0, got {self.epoch}")
+        if self.op not in _OPS:
+            raise NetworkStateError(f"unknown diff op '{self.op}' (expected {_OPS})")
+        if self.device != FABRIC_DEVICE and not _DEVICE_RE.match(self.device):
+            raise NetworkStateError(
+                f"unknown device '{self.device}' (expected edgeN/aggN/coreN/"
+                f"hostN or '{FABRIC_DEVICE}')"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "epoch": self.epoch,
+            "device": self.device,
+            "path": self.path,
+            "op": self.op,
+        }
+        if self.value is not None:
+            payload["value"] = self.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StateDiff":
+        try:
+            return cls(
+                epoch=int(payload["epoch"]),
+                device=str(payload["device"]),
+                path=str(payload["path"]),
+                op=str(payload.get("op", "replace")),
+                value=payload.get("value"),
+            )
+        except KeyError as error:
+            raise NetworkStateError(f"diff is missing required key {error}") from None
+
+
+def parse_device(name: str) -> NodeId:
+    """``"edge0"`` -> ``("edge", 0)``."""
+    match = _DEVICE_RE.match(name)
+    if not match:
+        raise NetworkStateError(f"'{name}' is not a fabric device name")
+    return (match.group(1), int(match.group(2)))
+
+
+def _peer_of(path: str, diff: StateDiff) -> NodeId:
+    """The peer node named by the path's ``[name=to-X]`` key.
+
+    Paths can carry several ``[name=...]`` keys (the ECMP member path also
+    names its network instance); the link peer is the last ``to-<peer>`` one.
+    """
+    names = [name for name in _NAME_KEY_RE.findall(path) if name.startswith("to-")]
+    if not names:
+        raise NetworkStateError(
+            f"path '{diff.path}' names no 'to-<peer>' interface/member "
+            "([name=...] key)"
+        )
+    return parse_device(names[-1][len("to-") :])
+
+
+def compile_state_diff(diff: StateDiff) -> StreamEvent:
+    """Compile one diff into the stream event it implies."""
+    path = diff.path.strip("/")
+    if path.endswith("state/oper-status"):
+        device = parse_device(diff.device)
+        peer = _peer_of(path, diff)
+        value = str(diff.value).upper()
+        if value == "DOWN":
+            return LinkFailureEvent(
+                epoch=diff.epoch, endpoint_a=device, endpoint_b=peer, loss_rate=1.0
+            )
+        if value == "UP":
+            return LinkRecoveryEvent(
+                epoch=diff.epoch, endpoint_a=device, endpoint_b=peer
+            )
+        raise NetworkStateError(
+            f"oper-status value must be UP or DOWN, got {diff.value!r}"
+        )
+    if "/ecmp/" in f"/{path}/" and "member" in path:
+        device = parse_device(diff.device)
+        peer = _peer_of(path, diff)
+        if diff.op == "remove":
+            return LinkFailureEvent(
+                epoch=diff.epoch, endpoint_a=device, endpoint_b=peer, loss_rate=1.0
+            )
+        if diff.op == "add":
+            return LinkRecoveryEvent(
+                epoch=diff.epoch, endpoint_a=device, endpoint_b=peer
+            )
+        raise NetworkStateError(
+            f"ecmp member diffs must be add/remove, got op '{diff.op}'"
+        )
+    if "loss-rate" in path:
+        if diff.device == FABRIC_DEVICE:
+            rate = None if diff.value is None or diff.op == "remove" else float(diff.value)
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise NetworkStateError(f"loss-rate {rate} is outside [0, 1]")
+            return LossRateShiftEvent(epoch=diff.epoch, loss_rate=rate)
+        device = parse_device(diff.device)
+        peer = _peer_of(path, diff)
+        rate = 0.0 if diff.value is None or diff.op == "remove" else float(diff.value)
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkStateError(f"loss-rate {rate} is outside [0, 1]")
+        if rate > 0.0:
+            return LinkFailureEvent(
+                epoch=diff.epoch, endpoint_a=device, endpoint_b=peer, loss_rate=rate
+            )
+        return LinkRecoveryEvent(epoch=diff.epoch, endpoint_a=device, endpoint_b=peer)
+    raise NetworkStateError(f"unsupported state path '{diff.path}'")
+
+
+def compile_state_diffs(diffs: Iterable[StateDiff]) -> EventSchedule:
+    """Compile a diff stream into the event schedule it implies."""
+    return EventSchedule([compile_state_diff(diff) for diff in diffs])
+
+
+# --------------------------------------------------------------------------- #
+# JSONL I/O
+# --------------------------------------------------------------------------- #
+def read_state_diffs(path: str) -> List[StateDiff]:
+    """Load a JSONL diff feed, failing fast with the offending line number."""
+    diffs: List[StateDiff] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as error:
+                raise NetworkStateError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            try:
+                diffs.append(StateDiff.from_dict(payload))
+            except NetworkStateError as error:
+                raise NetworkStateError(f"{path}:{line_number}: {error}") from None
+    return diffs
+
+
+def write_state_diffs(path: str, diffs: Iterable[StateDiff]) -> int:
+    """Serialize a diff feed as JSONL; returns the number of lines written."""
+    count = 0
+    with open(path, "w") as handle:
+        for diff in diffs:
+            handle.write(json.dumps(diff.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+# --------------------------------------------------------------------------- #
+# deterministic churn synthesis (scenario + CI feeds)
+# --------------------------------------------------------------------------- #
+def synthesize_churn_diffs(
+    topology: Optional[FatTreeTopology] = None,
+    epochs: int = 16,
+    period: int = 4,
+    gray_loss: float = 0.3,
+    shift_rate: float = 0.15,
+) -> List[StateDiff]:
+    """A deterministic churn feed cycling through the adapter's diff families.
+
+    Every ``period`` epochs one host uplink churns — alternating hard
+    oper-status flaps, grey loss-rate shifts, and ECMP member withdrawals —
+    and mid-run the fabric's victim loss rate shifts for one period.  Purely
+    a function of the arguments, so scenario and CI runs replay identically.
+    """
+    if period < 2:
+        raise ValueError("churn period must be at least 2 epochs")
+    topology = topology or FatTreeTopology.testbed()
+    diffs: List[StateDiff] = []
+    num_hosts = topology.num_hosts
+    for slot, start in enumerate(range(1, max(1, epochs - 1), period)):
+        host_index = slot % num_hosts
+        edge = topology.edge_switch_of_host(host_index)
+        device = f"{edge[0]}{edge[1]}"
+        interface = f"to-host{host_index}"
+        end = start + period - 1
+        family = slot % 3
+        if family == 0:
+            status = f"interfaces/interface[name={interface}]/state/oper-status"
+            diffs.append(StateDiff(start, device, status, "replace", "DOWN"))
+            diffs.append(StateDiff(end, device, status, "replace", "UP"))
+        elif family == 1:
+            counters = f"interfaces/interface[name={interface}]/state/counters/loss-rate"
+            diffs.append(StateDiff(start, device, counters, "replace", gray_loss))
+            diffs.append(StateDiff(end, device, counters, "replace", 0.0))
+        else:
+            member = (
+                "network-instances/network-instance[name=fabric]/protocols/"
+                f"ecmp/members/member[name={interface}]"
+            )
+            diffs.append(StateDiff(start, device, member, "remove"))
+            diffs.append(StateDiff(end, device, member, "add"))
+    shift_start = max(1, epochs // 2)
+    shift_path = "qos/interfaces/state/loss-rate"
+    diffs.append(StateDiff(shift_start, FABRIC_DEVICE, shift_path, "replace", shift_rate))
+    diffs.append(
+        StateDiff(min(shift_start + period, max(1, epochs - 1)), FABRIC_DEVICE,
+                  shift_path, "remove")
+    )
+    return sorted(diffs, key=lambda diff: (diff.epoch, diff.device, diff.path))

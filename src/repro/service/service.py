@@ -1,0 +1,238 @@
+"""The always-on telemetry service: checkpoints, alerts, graceful lifecycle.
+
+:class:`TelemetryService` wraps a :class:`~repro.stream.engine.StreamingEngine`
+with the three things a durable deployment needs on top of the bounded loop:
+
+* **Checkpoint/restore** — every ``checkpoint_interval`` epochs (and at every
+  graceful stop) the service fsyncs its sinks and atomically writes a
+  versioned ``.rtck`` snapshot (:mod:`repro.service.checkpoint`).  A resumed
+  service validates the snapshot against its own spec (seed, shards, rolling
+  window, schedule fingerprint), rewinds each file sink to its durable
+  offset, restores the analysis-side state, and continues **bit-identically**
+  to the uninterrupted run — for serial and sharded execution alike.
+* **Alerting** — an :class:`~repro.service.alerts.AlertEngine` evaluates its
+  rules against every record before the sinks see it; deterministic
+  transitions are annotated into the record's ``alerts`` field (part of the
+  reproducible stream), and all transitions flow to the alert sinks.
+* **Graceful lifecycle** — with ``handle_signals=True`` a SIGINT/SIGTERM
+  requests a stop; the loop finishes the epoch in flight, writes a final
+  checkpoint, flushes and closes every sink, and releases the shard pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any, Callable, Dict, List, Optional
+
+from ..stream.engine import StreamingEngine, StreamSummary
+from .alerts import AlertEngine
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
+
+
+class TelemetryService:
+    """An always-on run of the streaming engine with durability and alerting."""
+
+    def __init__(
+        self,
+        engine: StreamingEngine,
+        alert_engine: Optional[AlertEngine] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: int = 1,
+        handle_signals: bool = False,
+    ) -> None:
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0 (0 disables periodic checkpoints)")
+        self.engine = engine
+        self.alert_engine = alert_engine
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.handle_signals = handle_signals
+        self._stop_requested = False
+        self._epochs_since_checkpoint = 0
+        self._checkpointed_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask the loop to stop at the next epoch boundary (signal-safe)."""
+        self._stop_requested = True
+
+    def _handle_signal(self, signum, frame) -> None:  # pragma: no cover - signal path
+        self.request_stop()
+
+    def run(self, max_epochs: Optional[int] = None, resume: bool = False) -> StreamSummary:
+        """Drive the service to completion (or until stopped / ``max_epochs``).
+
+        ``max_epochs`` is absolute: a run resumed at epoch 4 with
+        ``max_epochs=10`` processes epochs 4..9, exactly the suffix the
+        uninterrupted run would have.  ``resume=True`` restores from
+        ``checkpoint_path`` when a checkpoint exists there (a missing file
+        starts a fresh run, so ``serve --resume`` is idempotent).
+        """
+        start_epoch = 0
+        loop_state: Optional[Dict[str, Any]] = None
+        if resume and self.checkpoint_path and os.path.exists(self.checkpoint_path):
+            state = read_checkpoint(self.checkpoint_path)
+            self._validate(state)
+            self.engine.restore_system(state["system"])
+            if self.alert_engine is not None and state.get("alerts"):
+                self.alert_engine.restore_state(state["alerts"])
+            self._rewind_sinks(state.get("sinks", []))
+            loop_state = state["engine"]
+            start_epoch = int(loop_state["next_epoch"])
+            self._checkpointed_epoch = start_epoch
+
+        previous_handlers: Dict[int, Any] = {}
+        if self.handle_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                previous_handlers[signum] = signal.signal(signum, self._handle_signal)
+        try:
+            summary = self.engine.run(
+                max_epochs=max_epochs,
+                start_epoch=start_epoch,
+                loop_state=loop_state,
+                record_hook=self._record_hook,
+                epoch_hook=self._epoch_hook,
+                should_stop=lambda: self._stop_requested,
+                close_on_exit=False,
+            )
+        finally:
+            try:
+                self._final_checkpoint()
+            finally:
+                errors: List[BaseException] = []
+                for closer in (self._close_alerts, self.engine.close):
+                    try:
+                        closer()
+                    except Exception as error:  # noqa: BLE001 - finish shutdown
+                        errors.append(error)
+                for signum, handler in previous_handlers.items():
+                    signal.signal(signum, handler)
+                if errors:
+                    raise errors[0]
+        return summary
+
+    def _close_alerts(self) -> None:
+        if self.alert_engine is not None:
+            self.alert_engine.close()
+
+    # ------------------------------------------------------------------ #
+    # per-epoch hooks
+    # ------------------------------------------------------------------ #
+    def _record_hook(self, epoch: int, record: Dict[str, Any], result) -> None:
+        if self.alert_engine is None:
+            return
+        alerts = self.alert_engine.observe(record)
+        # Only deterministic transitions join the reproducible record stream;
+        # timing-rule alerts reach the alert sinks but never the fields that
+        # identity comparisons (``comparable``) look at.
+        record["alerts"] = [alert.tag for alert in alerts if alert.deterministic]
+
+    def _epoch_hook(self, next_epoch: int, record: Dict[str, Any]) -> None:
+        self._epochs_since_checkpoint += 1
+        due = (
+            self.checkpoint_interval
+            and self._epochs_since_checkpoint >= self.checkpoint_interval
+        )
+        if self.checkpoint_path and (due or self._stop_requested):
+            self.write_checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def _spec_meta(self) -> Dict[str, Any]:
+        engine = self.engine
+        try:
+            source_epochs: Optional[int] = len(engine.source)
+        except TypeError:
+            source_epochs = None
+        return {
+            "seed": engine.seed,
+            "shards": engine.system.shards or 0,
+            "rolling_window": engine.rolling_window,
+            "heavy_hitter_threshold": engine.system.heavy_hitter_threshold,
+            "schedule_fingerprint": engine.schedule.fingerprint(),
+            "source_epochs": source_epochs,
+        }
+
+    def _validate(self, state: Dict[str, Any]) -> None:
+        expected = self._spec_meta()
+        stored = state.get("meta", {})
+        # The shard count may legitimately differ (loss draws are partition-
+        # independent); everything else must match for bit-identity.
+        for key in ("seed", "rolling_window", "heavy_hitter_threshold",
+                    "schedule_fingerprint", "source_epochs"):
+            if stored.get(key) != expected[key]:
+                raise CheckpointError(
+                    f"checkpoint '{self.checkpoint_path}' was written by a "
+                    f"different run: {key} is {stored.get(key)!r} there but "
+                    f"{expected[key]!r} here"
+                )
+
+    def _sink_states(self) -> List[Dict[str, Any]]:
+        sinks = list(self.engine.sinks)
+        if self.alert_engine is not None:
+            sinks.extend(self.alert_engine.sinks)
+        states = []
+        for sink in sinks:
+            state = sink.sink_state()
+            if state is not None:
+                states.append(state)
+        return states
+
+    def _rewind_sinks(self, states: List[Dict[str, Any]]) -> None:
+        """Append-reopen every file sink at its checkpointed durable offset."""
+        sinks = list(self.engine.sinks)
+        if self.alert_engine is not None:
+            sinks.extend(self.alert_engine.sinks)
+        by_key = {}
+        for sink in sinks:
+            state = sink.sink_state()
+            if state is not None:
+                by_key[(state["kind"], state["path"])] = sink
+        for stored in states:
+            sink = by_key.get((stored["kind"], stored["path"]))
+            if sink is None:
+                continue
+            if stored.get("fieldnames") is not None:
+                sink.truncate_to(stored["offset"], fieldnames=stored["fieldnames"])
+            else:
+                sink.truncate_to(stored["offset"])
+
+    def write_checkpoint(self) -> None:
+        """fsync the sinks, then atomically snapshot the full service state."""
+        if not self.checkpoint_path:
+            raise ValueError("this service has no checkpoint_path")
+        for sink in self.engine.sinks:
+            sink.sync()
+        if self.alert_engine is not None:
+            self.alert_engine.sync()
+        loop = self.engine.loop_state()
+        state = {
+            "meta": self._spec_meta(),
+            "engine": loop,
+            "system": self.engine.snapshot_system(),
+            "alerts": (
+                self.alert_engine.snapshot_state()
+                if self.alert_engine is not None
+                else None
+            ),
+            "sinks": self._sink_states(),
+        }
+        write_checkpoint(self.checkpoint_path, state)
+        self._epochs_since_checkpoint = 0
+        self._checkpointed_epoch = int(loop["next_epoch"])
+
+    def _final_checkpoint(self) -> None:
+        """Checkpoint the final boundary (graceful stop or source end)."""
+        if not self.checkpoint_path:
+            return
+        try:
+            boundary = int(self.engine.loop_state()["next_epoch"])
+        except RuntimeError:
+            return  # the loop never started
+        if self._checkpointed_epoch == boundary:
+            return
+        self.write_checkpoint()

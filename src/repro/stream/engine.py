@@ -31,7 +31,7 @@ import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.runner import ChameleMon, EpochResult
 from ..dataplane.config import SwitchResources
@@ -156,6 +156,8 @@ class StreamingEngine:
         )
         self.conditions = NetworkConditions(self.system.simulator.topology, seed=seed)
         self._resident = _ResidentTracker()
+        self._closed = False
+        self._loop_live: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # production (runs on the worker thread when pipelined)
@@ -189,31 +191,109 @@ class StreamingEngine:
     # ------------------------------------------------------------------ #
     # the loop
     # ------------------------------------------------------------------ #
-    def run(self, max_epochs: Optional[int] = None) -> StreamSummary:
-        """Drive the stream until the source ends (or ``max_epochs``)."""
+    def run(
+        self,
+        max_epochs: Optional[int] = None,
+        *,
+        start_epoch: int = 0,
+        loop_state: Optional[Dict[str, Any]] = None,
+        record_hook: Optional[Callable[[int, Dict[str, Any], EpochResult], None]] = None,
+        epoch_hook: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        close_on_exit: bool = True,
+    ) -> StreamSummary:
+        """Drive the stream until the source ends (or the absolute ``max_epochs``).
+
+        Resume support (``repro.service``): ``start_epoch`` skips the source
+        to that epoch, fast-forwards the event schedule's generation-side
+        effects, and ``loop_state`` (from :meth:`loop_state`) restores the
+        rolling windows and summary totals — together with
+        :meth:`restore_system` this continues an interrupted run
+        bit-identically.  ``record_hook`` may mutate each record before the
+        sinks see it (alert annotations); ``epoch_hook`` fires after the
+        record was written — the exact boundary at which a checkpoint is
+        valid; ``should_stop`` is polled after each epoch for graceful
+        shutdown.
+        """
+        if start_epoch < 0:
+            raise ValueError(f"start_epoch must be >= 0, got {start_epoch}")
         pool = ThreadPoolExecutor(max_workers=1) if self.pipelined else None
         try:
-            return self._run_loop(pool, max_epochs)
+            return self._run_loop(
+                pool, max_epochs, start_epoch, loop_state,
+                record_hook, epoch_hook, should_stop,
+            )
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
-            for sink in self.sinks:
+            if close_on_exit:
+                self.close()
+
+    def close(self) -> None:
+        """Flush and close every sink, then release the data plane.
+
+        Idempotent, and robust to a sink failing mid-close: every sink is
+        attempted and the shard pool is always released, so an interrupted
+        run never leaks worker processes or drops buffered records.  Called
+        from :meth:`run`'s ``finally`` (including on KeyboardInterrupt) and
+        from the context-manager exit.
+        """
+        errors = []
+        for sink in self.sinks:
+            try:
                 sink.close()
+            except Exception as error:  # noqa: BLE001 - every sink must be tried
+                errors.append(error)
+        try:
             self.system.close()
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+        self._closed = True
+        if errors:
+            raise errors[0]
+
+    def __enter__(self) -> "StreamingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _run_loop(
-        self, pool: Optional[ThreadPoolExecutor], max_epochs: Optional[int]
+        self,
+        pool: Optional[ThreadPoolExecutor],
+        max_epochs: Optional[int],
+        start_epoch: int,
+        loop_state: Optional[Dict[str, Any]],
+        record_hook: Optional[Callable[[int, Dict[str, Any], EpochResult], None]],
+        epoch_hook: Optional[Callable[[int, Dict[str, Any]], None]],
+        should_stop: Optional[Callable[[], bool]],
     ) -> StreamSummary:
         summary = StreamSummary()
         f1_window: deque = deque(maxlen=self.rolling_window)
         are_window: deque = deque(maxlen=self.rolling_window)
-        f1_total = 0.0
-        are_total = 0.0
-        iterator = iter(self.source)
+        totals = {"f1": 0.0, "are": 0.0, "next_epoch": start_epoch}
+        if loop_state is not None:
+            f1_window.extend(loop_state["f1_window"])
+            are_window.extend(loop_state["are_window"])
+            totals["f1"] = float(loop_state["f1_total"])
+            totals["are"] = float(loop_state["are_total"])
+            for key in ("epochs", "flows", "packets", "lost_packets"):
+                setattr(summary, key, int(loop_state["summary"][key]))
+            summary.final_level = loop_state["summary"]["final_level"]
+        self._loop_live = {
+            "f1_window": f1_window, "are_window": are_window,
+            "totals": totals, "summary": summary,
+        }
+        if start_epoch:
+            # Re-derive the generation-side state the skipped epochs built up.
+            self.conditions.fast_forward(self.schedule, start_epoch)
+            iterator = self.source.epochs_from(start_epoch)
+        else:
+            iterator = iter(self.source)
         start = time.perf_counter()
-        epoch = 0
+        epoch = start_epoch
         pending: Optional["Future[Optional[Trace]]"] = None
-        if max_epochs is None or max_epochs > 0:
+        if max_epochs is None or max_epochs > epoch:
             pending = self._submit(pool, iterator, epoch)
         while pending is not None:
             trace = pending.result()
@@ -236,11 +316,13 @@ class StreamingEngine:
             accuracy = result.loss_accuracy()
             f1_window.append(accuracy["f1"])
             are_window.append(accuracy["are"])
-            f1_total += accuracy["f1"]
-            are_total += accuracy["are"]
+            totals["f1"] += accuracy["f1"]
+            totals["are"] += accuracy["are"]
             record = self._record(
                 epoch, result, num_flows, packets, accuracy, f1_window, are_window, wall_ms
             )
+            if record_hook is not None:
+                record_hook(epoch, record, result)
             for sink in self.sinks:
                 sink.write(record)
 
@@ -251,12 +333,57 @@ class StreamingEngine:
             summary.final_level = result.level.value
             del trace, result
             epoch += 1
+            totals["next_epoch"] = epoch
+            if epoch_hook is not None:
+                epoch_hook(epoch, record)
+            if should_stop is not None and should_stop():
+                self._discard(pending)
+                break
         summary.wall_seconds = time.perf_counter() - start
         summary.peak_resident_flows = self._resident.peak
         if summary.epochs:
-            summary.mean_f1 = f1_total / summary.epochs
-            summary.mean_are = are_total / summary.epochs
+            summary.mean_f1 = totals["f1"] / summary.epochs
+            summary.mean_are = totals["are"] / summary.epochs
         return summary
+
+    def _discard(self, pending: Optional["Future[Optional[Trace]]"]) -> None:
+        """Drain an in-flight production future on early stop."""
+        if pending is None:
+            return
+        trace = pending.result()
+        if trace is not None:
+            self._resident.remove(len(trace))
+
+    # ------------------------------------------------------------------ #
+    # checkpoint support (repro.service)
+    # ------------------------------------------------------------------ #
+    def loop_state(self) -> Dict[str, Any]:
+        """The loop's restorable state at the current epoch boundary."""
+        if self._loop_live is None:
+            raise RuntimeError("loop_state() is only available during run()")
+        live = self._loop_live
+        summary: StreamSummary = live["summary"]
+        return {
+            "next_epoch": live["totals"]["next_epoch"],
+            "f1_window": list(live["f1_window"]),
+            "are_window": list(live["are_window"]),
+            "f1_total": live["totals"]["f1"],
+            "are_total": live["totals"]["are"],
+            "summary": {
+                "epochs": summary.epochs,
+                "flows": summary.flows,
+                "packets": summary.packets,
+                "lost_packets": summary.lost_packets,
+                "final_level": summary.final_level,
+            },
+        }
+
+    def snapshot_system(self) -> Dict[str, Any]:
+        """The analysis-side state (controller, switches, simulator)."""
+        return self.system.snapshot_state()
+
+    def restore_system(self, state: Dict[str, Any]) -> None:
+        self.system.restore_state(state)
 
     # ------------------------------------------------------------------ #
     def _record(
@@ -272,6 +399,12 @@ class StreamingEngine:
     ) -> Dict[str, Any]:
         division = result.memory_division()
         decoded = result.decoded_flow_counts()
+        snapshot = result.report.snapshot
+        decode_failures = (
+            int(not snapshot.hh_decode_success)
+            + int(not snapshot.hl_decode_success)
+            + int(not snapshot.ll_decode_success)
+        )
         return {
             "epoch": epoch,
             "num_flows": num_flows,
@@ -294,6 +427,7 @@ class StreamingEngine:
             "loss_are": accuracy["are"],
             "rolling_f1": sum(f1_window) / len(f1_window),
             "rolling_are": sum(are_window) / len(are_window),
+            "decode_failures": decode_failures,
             "wall_ms": wall_ms,
             "decode_ms": result.report.decode_ms,
         }

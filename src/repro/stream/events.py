@@ -20,6 +20,9 @@ Three families of events cover the streaming scenarios:
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -98,6 +101,23 @@ class EventSchedule:
     def last_epoch(self) -> int:
         return max(self._by_epoch, default=-1)
 
+    def fingerprint(self) -> str:
+        """A stable digest of the schedule, for checkpoint validation.
+
+        A resumed run must replay the *same* schedule as the interrupted one
+        (the engine re-derives its generation-side state by fast-forwarding
+        through it), so service checkpoints store this digest and refuse to
+        resume against a different schedule.
+        """
+        payload = [
+            {"type": type(event).__name__,
+             **{f.name: getattr(event, f.name) for f in dataclasses.fields(event)}}
+            for epoch in sorted(self._by_epoch)
+            for event in self._by_epoch[epoch]
+        ]
+        blob = json.dumps(payload, sort_keys=True, default=list).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
 
 class NetworkConditions:
     """The mutable network state an event schedule manipulates.
@@ -137,6 +157,24 @@ class NetworkConditions:
                     self._bursts.append([event.duration, event])
             else:
                 raise TypeError(f"unknown stream event {type(event).__name__}")
+
+    # ------------------------------------------------------------------ #
+    def fast_forward(self, schedule: "EventSchedule", epochs: int) -> None:
+        """Replay ``epochs`` epochs of event effects without producing traffic.
+
+        Resuming a checkpointed run rebuilds the generation-side state — the
+        active faults, the loss override, and each burst's remaining-epoch
+        countdown — by replaying the schedule up to (but not including) the
+        resume epoch.  Burst countdowns decrement exactly where
+        :meth:`_burst_columns` would have: once per produced epoch.  Burst
+        *traffic* does not need regenerating (its RNG is keyed purely on
+        ``(seed, event.epoch, epoch)``), so this is O(events), not O(run).
+        """
+        for epoch in range(epochs):
+            self.apply_events(schedule.at(epoch))
+            for entry in self._bursts:
+                entry[0] -= 1
+            self._bursts = [entry for entry in self._bursts if entry[0] > 0]
 
     # ------------------------------------------------------------------ #
     def transform(self, trace: Trace, epoch: int) -> Trace:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 import sys
 from typing import Any, Dict, IO, List, Optional, Sequence
 
@@ -25,50 +26,147 @@ class EpochSink:
     def close(self) -> None:
         """Release resources; safe to call more than once."""
 
+    # -- service checkpoint hooks (no-ops for non-file sinks) ----------- #
+    def sync(self) -> None:
+        """Make everything written so far durable (fsync for file sinks)."""
 
-def _open_stream(path: str) -> tuple:
-    """``(handle, owns_handle)`` for a path, with ``-`` meaning stdout."""
-    if path == "-":
-        return sys.stdout, False
-    return open(path, "w", newline=""), True
+    def sink_state(self) -> Optional[Dict[str, Any]]:
+        """Restorable position, or ``None`` when the sink cannot resume."""
+        return None
 
 
-class JsonlSink(EpochSink):
+class _FileSink(EpochSink):
+    """Shared machinery of the file-backed record sinks.
+
+    The file opens lazily on first write, so a resume can call
+    :meth:`truncate_to` *before* anything touches the file — constructing
+    the sink never clobbers the records a previous (interrupted) run
+    already made durable.
+    """
+
+    kind = "file"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+        self._owns = path != "-"
+
+    def _ensure_open(self) -> IO[str]:
+        # Only the *first* use opens (mode "w"); a closed sink raises on
+        # write rather than silently truncating the file it already wrote.
+        if self._handle is None:
+            if self.path == "-":
+                self._handle = sys.stdout
+            else:
+                self._handle = open(self.path, "w", newline="")
+        return self._handle
+
+    def sync(self) -> None:
+        """fsync-on-checkpoint: records up to here survive a crash."""
+        if self._owns and self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def tell(self) -> Optional[int]:
+        """Current byte offset (``None`` when writing to stdout)."""
+        if not self._owns:
+            return None
+        if self._handle is None or self._handle.closed:
+            return 0
+        self._handle.flush()
+        return self._handle.tell()
+
+    def truncate_to(self, offset: int) -> None:
+        """Append-reopen at a checkpointed offset (resume path).
+
+        Records written after the checkpoint are dropped, so the resumed
+        run's output is exactly the concatenation the uninterrupted run
+        would have produced.
+        """
+        if not self._owns:
+            raise ValueError("cannot truncate a sink writing to stdout")
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        if os.path.exists(self.path):
+            handle = open(self.path, "r+", newline="")
+        elif offset == 0:
+            handle = open(self.path, "w", newline="")
+        else:
+            raise FileNotFoundError(
+                f"sink file '{self.path}' is missing but the checkpoint "
+                f"recorded {offset} bytes"
+            )
+        size = handle.seek(0, os.SEEK_END)
+        if size < offset:
+            handle.close()
+            raise ValueError(
+                f"sink file '{self.path}' holds {size} bytes but the "
+                f"checkpoint recorded {offset} — the file was truncated "
+                "behind the checkpoint's back"
+            )
+        handle.truncate(offset)
+        handle.seek(offset)
+        self._handle = handle
+
+    def sink_state(self) -> Optional[Dict[str, Any]]:
+        offset = self.tell()
+        if offset is None:
+            return None
+        return {"kind": self.kind, "path": self.path, "offset": offset}
+
+    def close(self) -> None:
+        if self._owns and self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+
+class JsonlSink(_FileSink):
     """One JSON object per line per epoch, flushed as written."""
 
-    def __init__(self, path: str) -> None:
-        self.path = path
-        self._handle, self._owns = _open_stream(path)
+    kind = "jsonl"
 
     def write(self, record: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
-
-    def close(self) -> None:
-        if self._owns and not self._handle.closed:
-            self._handle.close()
+        handle = self._ensure_open()
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
 
 
-class CsvSink(EpochSink):
+class CsvSink(_FileSink):
     """CSV rows per epoch; the header comes from the first record's keys."""
 
+    kind = "csv"
+
     def __init__(self, path: str) -> None:
-        self.path = path
-        self._handle, self._owns = _open_stream(path)
+        super().__init__(path)
         self._writer: Optional[csv.DictWriter] = None
+        self._fieldnames: Optional[List[str]] = None
+        self._write_header = True
 
     def write(self, record: Dict[str, Any]) -> None:
+        handle = self._ensure_open()
         if self._writer is None:
+            self._fieldnames = self._fieldnames or list(record)
             self._writer = csv.DictWriter(
-                self._handle, fieldnames=list(record), restval="", extrasaction="ignore"
+                handle, fieldnames=self._fieldnames, restval="", extrasaction="ignore"
             )
-            self._writer.writeheader()
+            if self._write_header:
+                self._writer.writeheader()
         self._writer.writerow(record)
-        self._handle.flush()
+        handle.flush()
 
-    def close(self) -> None:
-        if self._owns and not self._handle.closed:
-            self._handle.close()
+    def truncate_to(self, offset: int, fieldnames: Optional[Sequence[str]] = None) -> None:
+        super().truncate_to(offset)
+        if fieldnames is not None:
+            self._fieldnames = list(fieldnames)
+        if offset > 0:
+            # The header survived the truncation; only rows follow.
+            self._write_header = False
+        self._writer = None
+
+    def sink_state(self) -> Optional[Dict[str, Any]]:
+        state = super().sink_state()
+        if state is not None:
+            state["fieldnames"] = self._fieldnames
+        return state
 
 
 class MemorySink(EpochSink):
@@ -108,6 +206,10 @@ class MultiSink(EpochSink):
     def write(self, record: Dict[str, Any]) -> None:
         for sink in self.sinks:
             sink.write(record)
+
+    def sync(self) -> None:
+        for sink in self.sinks:
+            sink.sync()
 
     def close(self) -> None:
         for sink in self.sinks:

@@ -52,6 +52,24 @@ class TraceSource:
     def __iter__(self) -> Iterator[Trace]:
         return self.epochs()
 
+    def epochs_from(self, start: int) -> Iterator[Trace]:
+        """The stream from epoch ``start`` onward (checkpoint resume).
+
+        Because every source is re-iterable and deterministic, the default
+        simply generates and discards the first ``start`` epochs.  Sources
+        with random access (:class:`SyntheticSource` per-epoch seeds, the
+        binary epoch store's manifest) override this with an O(1) seek.
+        """
+        if start < 0:
+            raise ValueError(f"start epoch must be >= 0, got {start}")
+        iterator = self.epochs()
+        for _ in range(start):
+            try:
+                next(iterator)
+            except StopIteration:
+                return
+        yield from iterator
+
     def __len__(self) -> int:
         """Number of epochs, when known in advance (phase schedules)."""
         raise TypeError(f"{type(self).__name__} has no predetermined length")
@@ -152,20 +170,24 @@ class SyntheticSource(TraceSource):
         raise IndexError(f"epoch {epoch} is beyond the schedule ({len(self)} epochs)")
 
     def epochs(self) -> Iterator[Trace]:
-        epoch = 0
-        for phase in self.phases:
-            for _ in range(phase.epochs):
-                yield generate_workload(
-                    phase.workload,
-                    num_flows=phase.num_flows,
-                    victim_ratio=phase.victim_ratio,
-                    loss_rate=phase.loss_rate,
-                    num_hosts=self.num_hosts,
-                    victim_selection=phase.victim_selection,
-                    seed=self.seed + 101 * epoch,
-                    use_five_tuple=self.use_five_tuple,
-                )
-                epoch += 1
+        return self.epochs_from(0)
+
+    def epochs_from(self, start: int) -> Iterator[Trace]:
+        """O(1) seek: each epoch is a pure function of its index and phase."""
+        if start < 0:
+            raise ValueError(f"start epoch must be >= 0, got {start}")
+        for epoch in range(start, len(self)):
+            phase = self.phase_at(epoch)
+            yield generate_workload(
+                phase.workload,
+                num_flows=phase.num_flows,
+                victim_ratio=phase.victim_ratio,
+                loss_rate=phase.loss_rate,
+                num_hosts=self.num_hosts,
+                victim_selection=phase.victim_selection,
+                seed=self.seed + 101 * epoch,
+                use_five_tuple=self.use_five_tuple,
+            )
 
 
 # --------------------------------------------------------------------------- #
@@ -362,6 +384,23 @@ class TraceFileSource(TraceSource):
             finally:
                 reader.close()
             return
+        yield from self._text_epochs()
+
+    def epochs_from(self, start: int) -> Iterator[Trace]:
+        """Seek via the binary manifest; text formats skip-parse to ``start``."""
+        if start < 0:
+            raise ValueError(f"start epoch must be >= 0, got {start}")
+        if self.format == "binary":
+            reader = BinaryTraceReader(self.path)
+            try:
+                for index in range(start, len(reader)):
+                    yield reader.read_epoch(index)
+            finally:
+                reader.close()
+            return
+        yield from super().epochs_from(start)
+
+    def _text_epochs(self) -> Iterator[Trace]:
         flows = _ColumnAccumulator()
         current_epoch: Optional[int] = None
         for row in self._rows():
@@ -448,3 +487,12 @@ class LimitedSource(TraceSource):
             if epoch >= self.max_epochs:
                 return
             yield trace
+
+    def epochs_from(self, start: int) -> Iterator[Trace]:
+        for epoch, trace in enumerate(self.source.epochs_from(start), start=start):
+            if epoch >= self.max_epochs:
+                return
+            yield trace
+
+    def __len__(self) -> int:
+        return min(self.max_epochs, len(self.source))
