@@ -362,6 +362,32 @@ def _build_stream_source(args: argparse.Namespace, seed: int, loss_rate):
     return SyntheticSource(phases=phases, seed=seed)
 
 
+def _build_observability(args: argparse.Namespace):
+    """``(tracer, metrics, span_sink)`` from the shared obs flags.
+
+    ``--spans PATH`` turns on stage tracing and streams span JSONL to
+    ``PATH`` (input for ``repro.cli perf report``); ``--metrics PATH`` (and
+    ``serve --metrics-port``) attach a metrics registry to the engine.
+    """
+    from .obs import JsonlSpanSink, MetricsRegistry, StageTracer
+
+    tracer = span_sink = None
+    if getattr(args, "spans_out", None):
+        tracer = StageTracer()
+        span_sink = JsonlSpanSink(args.spans_out)
+    metrics = None
+    if getattr(args, "metrics_out", None) or getattr(args, "metrics_port", None) is not None:
+        metrics = MetricsRegistry()
+    return tracer, metrics, span_sink
+
+
+def _write_metrics_snapshot(args: argparse.Namespace, metrics) -> None:
+    if metrics is not None and getattr(args, "metrics_out", None):
+        from .obs import write_snapshot
+
+        write_snapshot(args.metrics_out, metrics)
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     """Run the continuous streaming engine from the command line."""
     from .dataplane.config import SwitchResources
@@ -431,6 +457,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if not args.quiet and not stdout_taken:
         sinks.append(ConsoleSink())
 
+    tracer, metrics, span_sink = _build_observability(args)
     engine = StreamingEngine(
         source,
         events=events,
@@ -440,8 +467,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
         pipelined=not args.serial,
         rolling_window=args.rolling_window,
         shards=args.shards,
+        tracer=tracer,
+        metrics=metrics,
+        span_sink=span_sink,
     )
     summary = engine.run(max_epochs=args.epochs)
+    _write_metrics_snapshot(args, metrics)
     stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
     print(
         f"[stream] {summary.epochs} epochs, {summary.packets} packets in "
@@ -538,6 +569,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not args.quiet and not stdout_taken:
         sinks.append(ConsoleSink())
 
+    tracer, metrics, span_sink = _build_observability(args)
     engine = StreamingEngine(
         source,
         events=events,
@@ -547,6 +579,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pipelined=not args.serial,
         rolling_window=args.rolling_window,
         shards=args.shards,
+        tracer=tracer,
+        metrics=metrics,
+        span_sink=span_sink,
     )
     service = TelemetryService(
         engine,
@@ -554,12 +589,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         handle_signals=True,
+        metrics_port=args.metrics_port,
     )
+    if args.metrics_port is not None and not args.quiet:
+        print(f"[serve] metrics port {args.metrics_port} "
+              f"(http://127.0.0.1:{args.metrics_port}/metrics)", file=sys.stderr)
     try:
         summary = service.run(max_epochs=args.epochs, resume=args.resume)
     except CheckpointError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    _write_metrics_snapshot(args, metrics)
     stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
     checkpoint_note = f", checkpoint {args.checkpoint}" if args.checkpoint else ""
     print(
@@ -568,6 +608,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"mean F1 {summary.mean_f1:.3f}{checkpoint_note}",
         file=stream,
     )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# performance tooling
+# --------------------------------------------------------------------------- #
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    """Aggregate a span JSONL file into a self/cumulative stage breakdown."""
+    from .obs import aggregate_spans, load_spans, render_report, report_dict
+
+    try:
+        spans = load_spans(args.spans)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read spans from '{args.spans}': {error}",
+              file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"error: '{args.spans}' holds no spans; run stream/serve with "
+              f"--spans to produce one", file=sys.stderr)
+        return 2
+    nodes = aggregate_spans(spans)
+    if args.json_out:
+        payload = report_dict(nodes)
+        payload["spans"] = len(spans)
+        payload["epochs"] = len(
+            {s.get("epoch") for s in spans if s.get("epoch") is not None}
+        )
+        if args.json_out == "-":
+            print(json.dumps(payload, indent=2))
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+    if not args.quiet and args.json_out != "-":
+        epochs = len({s.get("epoch") for s in spans if s.get("epoch") is not None})
+        print(f"[perf] {len(spans)} spans over {epochs} epochs from {args.spans}")
+        print(render_report(nodes))
     return 0
 
 
@@ -983,6 +1060,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append one JSON record per epoch ('-' for stdout)")
     sub.add_argument("--csv", dest="csv_out", metavar="PATH",
                      help="append one CSV row per epoch ('-' for stdout)")
+    sub.add_argument("--spans", dest="spans_out", metavar="PATH",
+                     help="trace pipeline stages and append span JSONL here "
+                          "(input for `perf report`)")
+    sub.add_argument("--metrics", dest="metrics_out", metavar="PATH",
+                     help="write a final metrics snapshot (JSONL) here")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress the per-epoch console line")
     sub.set_defaults(handler=cmd_stream)
@@ -1050,6 +1132,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append one JSON record per epoch ('-' for stdout)")
     sub.add_argument("--csv", dest="csv_out", metavar="PATH",
                      help="append one CSV row per epoch ('-' for stdout)")
+    sub.add_argument("--spans", dest="spans_out", metavar="PATH",
+                     help="trace pipeline stages and append span JSONL here "
+                          "(input for `perf report`)")
+    sub.add_argument("--metrics", dest="metrics_out", metavar="PATH",
+                     help="write a final metrics snapshot (JSONL) here")
+    sub.add_argument("--metrics-port", type=int, dest="metrics_port",
+                     default=None, metavar="PORT",
+                     help="serve live Prometheus metrics on this port while "
+                          "running (0 picks a free port)")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress the per-epoch console line")
     sub.set_defaults(handler=cmd_serve)
@@ -1140,6 +1231,23 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--json", dest="json_out", metavar="PATH",
                          help="write the summary as JSON ('-' for stdout)")
     inspect.set_defaults(handler=cmd_trace_inspect)
+
+    sub = subparsers.add_parser(
+        "perf",
+        help="performance tooling over traced runs (stream/serve --spans)",
+    )
+    perf_sub = sub.add_subparsers(dest="perf_command", required=True)
+
+    report = perf_sub.add_parser(
+        "report",
+        help="aggregate a span JSONL into a self/cumulative stage breakdown",
+    )
+    report.add_argument("spans", help="span JSONL written by stream/serve --spans")
+    report.add_argument("--json", dest="json_out", metavar="PATH",
+                        help="write the breakdown as JSON ('-' for stdout)")
+    report.add_argument("--quiet", action="store_true",
+                        help="suppress the table output")
+    report.set_defaults(handler=cmd_perf_report)
 
     return parser
 

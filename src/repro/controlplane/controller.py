@@ -18,6 +18,7 @@ from typing import Dict, Mapping, Optional
 
 from ..dataplane.config import MonitoringConfig, SwitchResources
 from ..dataplane.switch import SketchGroup
+from ..obs.tracing import NULL_TRACER
 from .analysis import LossReport, SwitchId, packet_loss_detection
 from .reconfig import AttentionController, NetworkLevel, ReconfigurationDecision
 from .state import MonitoringSnapshot, build_snapshot
@@ -131,15 +132,19 @@ class CentralController:
         config: MonitoringConfig,
         compute_tasks: bool = True,
         destructive: bool = False,
+        tracer: Optional[object] = None,
     ) -> EpochReport:
         """Analyse one epoch's sketches and decide the next configuration.
 
         ``destructive=True`` lets the loss analysis decode the collected HH
         encoders in place (no sketch copies); the accumulation tasks only read
         the classifiers and the decoded flowsets, so the reports are identical
-        either way.
+        either way.  ``tracer`` (a :class:`~repro.obs.tracing.StageTracer`)
+        times each analysis stage; it is observational only.
         """
-        loss_report = packet_loss_detection(groups, destructive=destructive)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("decode"):
+            loss_report = packet_loss_detection(groups, destructive=destructive)
         hh_flowsets = {
             switch_id: decode.flowset
             for switch_id, decode in loss_report.hh_decodes.items()
@@ -149,18 +154,21 @@ class CentralController:
         per_switch_flows = {
             switch_id: cardinality_estimate(view) for switch_id, view in views.items()
         }
-        distribution = network_flow_size_distribution(
-            views, iterations=self.distribution_iterations
-        )
-        snapshot = build_snapshot(
-            loss_report,
-            views,
-            config,
-            per_switch_flows,
-            flow_size_distribution=distribution,
-            rng=self._rng,
-        )
-        decision = self.attention.reconfigure(snapshot)
+        with tracer.span("mrac_em"):
+            distribution = network_flow_size_distribution(
+                views, iterations=self.distribution_iterations
+            )
+        with tracer.span("snapshot"):
+            snapshot = build_snapshot(
+                loss_report,
+                views,
+                config,
+                per_switch_flows,
+                flow_size_distribution=distribution,
+                rng=self._rng,
+            )
+        with tracer.span("reconfig"):
+            decision = self.attention.reconfigure(snapshot)
 
         report = EpochReport(
             epoch_index=self._epoch_index,
@@ -172,9 +180,14 @@ class CentralController:
             flow_size_distribution=distribution,
         )
         if compute_tasks:
-            report.heavy_hitters = network_heavy_hitters(views, self.heavy_hitter_threshold)
-            report.cardinality = network_cardinality(views)
-            report.entropy = network_entropy(views, iterations=self.distribution_iterations)
+            with tracer.span("tasks"):
+                report.heavy_hitters = network_heavy_hitters(
+                    views, self.heavy_hitter_threshold
+                )
+                report.cardinality = network_cardinality(views)
+                report.entropy = network_entropy(
+                    views, iterations=self.distribution_iterations
+                )
         self._epoch_index += 1
         self.history.append(report)
         if self.history_limit is not None and len(self.history) > self.history_limit:

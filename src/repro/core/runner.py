@@ -23,6 +23,7 @@ from ..controlplane.reconfig import NetworkLevel
 from ..dataplane.config import MonitoringConfig, SwitchResources
 from ..metrics.accuracy import loss_detection_accuracy
 from ..network.simulator import EpochTruth, NetworkSimulator, build_testbed_simulator
+from ..obs.tracing import NULL_TRACER
 from ..sketches.fermat import MERSENNE_PRIME_127
 from ..traffic.flow import Trace
 
@@ -82,6 +83,10 @@ class ChameleMon:
     #: Fan each epoch's data plane out over N worker shards (bit-identical to
     #: serial execution; see repro.dataplane.sharded).  None/0 runs serially.
     shards: Optional[int] = None
+    #: Attach a :class:`~repro.obs.tracing.StageTracer` to emit hierarchical
+    #: per-stage spans (epoch -> simulate/collect/analyze/...).  Tracing is
+    #: observational only: traced runs are bit-identical to untraced ones.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.simulator: NetworkSimulator = build_testbed_simulator(
@@ -122,24 +127,35 @@ class ChameleMon:
         keyed on the next timestamp value so that it never interferes with the
         epoch currently being monitored).
         """
-        if self._epochs_run:
-            # Install the configuration staged by the previous epoch's decision.
-            for switch in self.simulator.switches.values():
-                switch.begin_epoch()
-        truth = self.simulator.run_epoch(trace, shards=self.shards)
-        groups = {
-            node: switch.end_epoch()
-            for node, switch in self.simulator.switches.items()
-        }
-        config_used = next(iter(groups.values())).config
-        report = self.controller.process_epoch(
-            groups,
-            config_used,
-            compute_tasks=self.compute_tasks,
-            destructive=self.destructive_analysis,
-        )
-        for switch in self.simulator.switches.values():
-            switch.apply_config(report.decision.config)
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
+        tracer.set_epoch(self._epochs_run)
+        with tracer.span("epoch"):
+            if self._epochs_run:
+                # Install the configuration staged by the previous epoch's decision.
+                with tracer.span("install"):
+                    for switch in self.simulator.switches.values():
+                        switch.begin_epoch()
+            with tracer.span("simulate"):
+                truth = self.simulator.run_epoch(
+                    trace, shards=self.shards, tracer=self.tracer
+                )
+            with tracer.span("collect"):
+                groups = {
+                    node: switch.end_epoch()
+                    for node, switch in self.simulator.switches.items()
+                }
+            config_used = next(iter(groups.values())).config
+            with tracer.span("analyze"):
+                report = self.controller.process_epoch(
+                    groups,
+                    config_used,
+                    compute_tasks=self.compute_tasks,
+                    destructive=self.destructive_analysis,
+                    tracer=self.tracer,
+                )
+            with tracer.span("install_next"):
+                for switch in self.simulator.switches.values():
+                    switch.apply_config(report.decision.config)
         result = EpochResult(report=report, truth=truth)
         self.results.append(result)
         if self.history_limit is not None and len(self.results) > self.history_limit:

@@ -41,6 +41,7 @@ what ``begin_epoch`` does centrally — sketch hash seeds derive from
 from __future__ import annotations
 
 import contextlib
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -174,10 +175,18 @@ def _phase1_task(
     scratch_offsets: Dict[str, int],
     key: int,
     configs: Dict[Any, Any],
-) -> Dict[Any, Dict[str, Any]]:
-    """Classify + upstream-encode this shard's ingress switches; apply losses."""
+    with_spans: bool = False,
+) -> Tuple[Dict[Any, Dict[str, Any]], List[Dict[str, Any]]]:
+    """Classify + upstream-encode this shard's ingress switches; apply losses.
+
+    With ``with_spans=True`` the phase is timed on this worker's monotonic
+    clock and span dicts ship back with the deltas; the parent's tracer
+    re-roots them under ``epoch/simulate`` (paths here are phase-relative).
+    """
     from ..network.simulator import apply_victim_losses, endpoint_switch_indices
 
+    phase_start = time.perf_counter_ns()
+    loss_ns = 0
     data, scratch = _attach_buffers(data_name, scratch_name)
     columns = columns_from_buffer(data.buf, data_meta)
     views = _scratch_views(scratch, data_meta["flows"], scratch_offsets)
@@ -197,6 +206,7 @@ def _phase1_task(
         views["sampled"][positions] = batch.sampled
         victim_rows = columns.is_victim[positions] & (columns.lost_packets[positions] > 0)
         victim_positions = positions[victim_rows]
+        loss_start = time.perf_counter_ns()
         apply_victim_losses(
             key,
             victim_positions,
@@ -206,6 +216,7 @@ def _phase1_task(
             views["hh"],
             views["sampled"],
         )
+        loss_ns += time.perf_counter_ns() - loss_start
         group = switch.end_epoch()
         deltas[node] = {
             "classifier": group.classifier.tower._counters,
@@ -215,7 +226,25 @@ def _phase1_task(
             },
             "stats": switch.stats,
         }
-    return deltas
+    spans: List[Dict[str, Any]] = []
+    if with_spans:
+        spans = [
+            {
+                "name": "classify_encode",
+                "path": ["classify_encode"],
+                "shard": shard_id,
+                "start_ns": phase_start,
+                "duration_ns": time.perf_counter_ns() - phase_start,
+            },
+            {
+                "name": "loss_apply",
+                "path": ["classify_encode", "loss_apply"],
+                "shard": shard_id,
+                "start_ns": phase_start,
+                "duration_ns": loss_ns,
+            },
+        ]
+    return deltas, spans
 
 
 def _phase2_task(
@@ -225,10 +254,12 @@ def _phase2_task(
     scratch_name: str,
     scratch_offsets: Dict[str, int],
     configs: Dict[Any, Any],
-) -> Dict[Any, Dict[str, Any]]:
+    with_spans: bool = False,
+) -> Tuple[Dict[Any, Dict[str, Any]], List[Dict[str, Any]]]:
     """Downstream-encode this shard's egress switches from the scratch counts."""
     from ..network.simulator import downstream_groups, endpoint_switch_indices
 
+    phase_start = time.perf_counter_ns()
     data, scratch = _attach_buffers(data_name, scratch_name)
     columns = columns_from_buffer(data.buf, data_meta)
     views = _scratch_views(scratch, data_meta["flows"], scratch_offsets)
@@ -256,28 +287,50 @@ def _phase2_task(
             },
             "stats": switch.stats,
         }
-    return deltas
+    spans: List[Dict[str, Any]] = []
+    if with_spans:
+        spans = [
+            {
+                "name": "downstream_encode",
+                "path": ["downstream_encode"],
+                "shard": shard_id,
+                "start_ns": phase_start,
+                "duration_ns": time.perf_counter_ns() - phase_start,
+            }
+        ]
+    return deltas, spans
 
 
 # --------------------------------------------------------------------------- #
 # central merge (the linear sketch algebra)
 # --------------------------------------------------------------------------- #
-def _merge_fermat(part, state) -> None:
-    """Add a shard-shipped Fermat delta into a central part via ``add``."""
+def _merge_fermat(part, state) -> int:
+    """Add a shard-shipped Fermat delta into a central part via ``add``.
+
+    Returns the delta's transported byte count (counts + idsums arrays) for
+    the ``repro_shard_merge_bytes_total`` metric.
+    """
     if part is None or state is None:
-        return
+        return 0
     counts, idsums = state
     shadow = part.empty_like()
     shadow._counts = [np.asarray(row) for row in counts]
     shadow._idsums = [np.asarray(row) for row in idsums]
     part.add(shadow)
+    return sum(np.asarray(row).nbytes for row in counts) + sum(
+        np.asarray(row).nbytes for row in idsums
+    )
 
 
-def _merge_tower(tower, arrays) -> None:
+def _merge_tower(tower, arrays) -> int:
     """Saturating bucket-wise add of shard tower counters into a central tower."""
+    merged = 0
     for counters, level, delta in zip(tower._counters, tower.levels, arrays):
-        counters += np.asarray(delta, dtype=np.int64)
+        delta = np.asarray(delta, dtype=np.int64)
+        counters += delta
         np.minimum(counters, level.saturation, out=counters)
+        merged += delta.nbytes
+    return merged
 
 
 def _merge_stats(target, delta) -> None:
@@ -294,24 +347,31 @@ def merge_node_deltas(
     switches: Dict[Any, EdgeSwitch],
     up_deltas: Dict[Any, Dict[str, Any]],
     down_deltas: Dict[Any, Dict[str, Any]],
-) -> None:
+) -> int:
     """Merge shard deltas into the central switches' (freshly rotated) groups.
 
     Each node is owned by exactly one shard, so each central group receives at
     most one upstream and one downstream delta; the linear add is then exact
-    (merge into empty), including the saturating Tower counters.
+    (merge into empty), including the saturating Tower counters.  Returns the
+    total delta bytes merged (the shard-transport volume metric).
     """
+    merged = 0
     for node, delta in up_deltas.items():
         group = switches[node].end_epoch()
-        _merge_tower(group.classifier.tower, delta["classifier"])
+        merged += _merge_tower(group.classifier.tower, delta["classifier"])
         for name in ("hh", "hl", "ll"):
-            _merge_fermat(group.upstream.parts.part(name), delta["upstream"][name])
+            merged += _merge_fermat(
+                group.upstream.parts.part(name), delta["upstream"][name]
+            )
         _merge_stats(switches[node].stats, delta["stats"])
     for node, delta in down_deltas.items():
         group = switches[node].end_epoch()
         for name in ("hl", "ll"):
-            _merge_fermat(group.downstream.parts.part(name), delta["downstream"][name])
+            merged += _merge_fermat(
+                group.downstream.parts.part(name), delta["downstream"][name]
+            )
         _merge_stats(switches[node].stats, delta["stats"])
+    return merged
 
 
 # --------------------------------------------------------------------------- #
@@ -379,14 +439,20 @@ class ShardPool:
             shm.unlink()
 
     def run_epoch(
-        self, columns, key: int, configs: Dict[Any, Any]
-    ) -> Tuple[Dict[Any, Dict[str, Any]], Dict[Any, Dict[str, Any]]]:
-        """Run one epoch over the shards; returns (upstream, downstream) deltas.
+        self, columns, key: int, configs: Dict[Any, Any], with_spans: bool = False
+    ) -> Tuple[
+        Dict[Any, Dict[str, Any]],
+        Dict[Any, Dict[str, Any]],
+        List[Dict[str, Any]],
+    ]:
+        """Run one epoch over the shards; returns (up deltas, down deltas, spans).
 
         ``configs`` maps each attached node to the MonitoringConfig governing
         this epoch (workers rebuild switches from it each phase, mirroring the
         central ``begin_epoch``).  Phase 1 must fully complete before phase 2
         is dispatched — phase 2 reads hierarchy counts written by every shard.
+        ``with_spans=True`` has each worker time its phases and ship span
+        dicts back with the deltas (empty list otherwise).
         """
         if self._executor is None:
             raise RuntimeError("ShardPool is closed")
@@ -398,21 +464,28 @@ class ShardPool:
             self._scratch_shm.name,
             scratch_offsets,
         )
+        spans: List[Dict[str, Any]] = []
         phase1 = [
-            self._executor.submit(_phase1_task, shard, *common, key, configs)
+            self._executor.submit(
+                _phase1_task, shard, *common, key, configs, with_spans
+            )
             for shard in range(self.num_shards)
         ]
         up_deltas: Dict[Any, Dict[str, Any]] = {}
         for future in phase1:
-            up_deltas.update(future.result())
+            deltas, shard_spans = future.result()
+            up_deltas.update(deltas)
+            spans.extend(shard_spans)
         phase2 = [
-            self._executor.submit(_phase2_task, shard, *common, configs)
+            self._executor.submit(_phase2_task, shard, *common, configs, with_spans)
             for shard in range(self.num_shards)
         ]
         down_deltas: Dict[Any, Dict[str, Any]] = {}
         for future in phase2:
-            down_deltas.update(future.result())
-        return up_deltas, down_deltas
+            deltas, shard_spans = future.result()
+            down_deltas.update(deltas)
+            spans.extend(shard_spans)
+        return up_deltas, down_deltas, spans
 
     @property
     def closed(self) -> bool:

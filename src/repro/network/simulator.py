@@ -30,6 +30,7 @@ import numpy as np
 
 from ..dataplane.hierarchy import FlowHierarchy
 from ..dataplane.switch import EdgeSwitch, HierarchySegments
+from ..obs.tracing import NULL_TRACER
 from ..traffic.flow import FlowRecord, Trace, TraceColumns
 from .routing import EcmpRouter
 from .topology import FatTreeTopology, NodeId
@@ -349,6 +350,9 @@ class NetworkSimulator:
         self._rng = random.Random(seed)
         self._epoch_counter = 0
         self._shard_pool = None
+        #: Sketch-delta bytes merged centrally in the last sharded epoch
+        #: (0 for serial epochs); read by the engine's metrics instruments.
+        self.last_merge_bytes = 0
         # Per-topology host -> edge-switch maps, built once (the topology is
         # immutable for the simulator's lifetime).
         num_hosts = self.topology.num_hosts
@@ -408,6 +412,7 @@ class NetworkSimulator:
         trace: Trace,
         batched: bool = True,
         shards: Optional[int] = None,
+        tracer: Optional[object] = None,
     ) -> EpochTruth:
         """Replay a whole trace as one epoch and return its ground truth.
 
@@ -427,10 +432,11 @@ class NetworkSimulator:
         """
         key = epoch_loss_key(self._seed, self._epoch_counter)
         self._epoch_counter += 1
+        self.last_merge_bytes = 0
         if shards is not None and shards > 0:
-            return self._run_epoch_sharded(trace, int(shards), key)
+            return self._run_epoch_sharded(trace, int(shards), key, tracer)
         if batched:
-            return self._run_epoch_batched(trace, key)
+            return self._run_epoch_batched(trace, key, tracer)
         return self._run_epoch_scalar(trace, key)
 
     def _run_epoch_scalar(self, trace: Trace, key: int) -> EpochTruth:
@@ -462,7 +468,9 @@ class NetworkSimulator:
             )
         return truth
 
-    def _run_epoch_batched(self, trace: Trace, key: int) -> EpochTruth:
+    def _run_epoch_batched(
+        self, trace: Trace, key: int, tracer: Optional[object] = None
+    ) -> EpochTruth:
         """Vectorized epoch replay (same results as the scalar reference).
 
         Upstream processing is grouped per ingress switch (each switch's flows
@@ -471,6 +479,7 @@ class NetworkSimulator:
         keyed on each victim's trace position; downstream processing is
         grouped per egress switch.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         truth = EpochTruth()
         columns = trace.columns()
         num_flows = len(columns)
@@ -488,49 +497,59 @@ class NetworkSimulator:
         hl_all = np.zeros(num_flows, dtype=np.int64)
         hh_all = np.zeros(num_flows, dtype=np.int64)
         sampled_all = np.zeros(num_flows, dtype=bool)
-        for index, node in enumerate(self.edge_nodes):
-            positions = np.nonzero(ingress == index)[0]
-            if not positions.size:
-                continue
-            switch = self.switches.get(node)
-            if switch is None:
-                raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
-            batch = switch.process_flows_upstream_arrays(
-                flow_ids[positions], sizes[positions]
-            )
-            ll_all[positions] = batch.ll
-            hl_all[positions] = batch.hl
-            hh_all[positions] = batch.hh
-            sampled_all[positions] = batch.sampled
+        with tracer.span("classify_encode"):
+            for index, node in enumerate(self.edge_nodes):
+                positions = np.nonzero(ingress == index)[0]
+                if not positions.size:
+                    continue
+                switch = self.switches.get(node)
+                if switch is None:
+                    raise KeyError(
+                        f"no ChameleMon data plane attached to edge switch {node}"
+                    )
+                batch = switch.process_flows_upstream_arrays(
+                    flow_ids[positions], sizes[positions]
+                )
+                ll_all[positions] = batch.ll
+                hl_all[positions] = batch.hl
+                hh_all[positions] = batch.hh
+                sampled_all[positions] = batch.sampled
         victim_positions = np.nonzero(columns.is_victim & (columns.lost_packets > 0))[0]
-        apply_victim_losses(
-            key,
-            victim_positions,
-            columns.lost_packets[victim_positions],
-            ll_all,
-            hl_all,
-            hh_all,
-            sampled_all,
-        )
-        # Downstream: one batch per egress switch, pre-grouped per hierarchy.
-        for index, node in enumerate(self.edge_nodes):
-            egress_mask = egress == index
-            if not egress_mask.any():
-                continue
-            switch = self.switches.get(node)
-            if switch is None:
-                raise KeyError(f"no ChameleMon data plane attached to edge switch {node}")
-            groups, packets = downstream_groups(
-                flow_ids, ll_all, hl_all, hh_all, sampled_all, egress_mask
+        with tracer.span("loss_apply"):
+            apply_victim_losses(
+                key,
+                victim_positions,
+                columns.lost_packets[victim_positions],
+                ll_all,
+                hl_all,
+                hh_all,
+                sampled_all,
             )
-            switch.process_flows_downstream_arrays(groups, packets)
+        # Downstream: one batch per egress switch, pre-grouped per hierarchy.
+        with tracer.span("downstream_encode"):
+            for index, node in enumerate(self.edge_nodes):
+                egress_mask = egress == index
+                if not egress_mask.any():
+                    continue
+                switch = self.switches.get(node)
+                if switch is None:
+                    raise KeyError(
+                        f"no ChameleMon data plane attached to edge switch {node}"
+                    )
+                groups, packets = downstream_groups(
+                    flow_ids, ll_all, hl_all, hh_all, sampled_all, egress_mask
+                )
+                switch.process_flows_downstream_arrays(groups, packets)
         return truth
 
     # ------------------------------------------------------------------ #
     # sharded execution
     # ------------------------------------------------------------------ #
-    def _run_epoch_sharded(self, trace: Trace, shards: int, key: int) -> EpochTruth:
+    def _run_epoch_sharded(
+        self, trace: Trace, shards: int, key: int, tracer: Optional[object] = None
+    ) -> EpochTruth:
         """Fan one epoch out over the persistent shard pool and merge centrally."""
+        tracer = tracer if tracer is not None else NULL_TRACER
         truth = EpochTruth()
         columns = trace.columns()
         if len(columns) == 0:
@@ -545,13 +564,22 @@ class NetworkSimulator:
         accumulate_truth(truth, columns, ingress, self.edge_nodes)
         configs = {node: switch.config for node, switch in self.switches.items()}
         try:
-            up_deltas, down_deltas = pool.run_epoch(columns, key, configs)
+            up_deltas, down_deltas, shard_spans = pool.run_epoch(
+                columns, key, configs, with_spans=tracer.enabled
+            )
         except Exception:
             # A failed sharded epoch leaves workers/buffers in an undefined
             # state; tear the pool down so the next run starts clean.
             self.close()
             raise
-        merge_node_deltas(self.switches, up_deltas, down_deltas)
+        if shard_spans:
+            # Workers timed their phases on their own monotonic clocks and
+            # shipped plain span dicts with the deltas; adopt them here.
+            tracer.ingest(shard_spans)
+        with tracer.span("merge"):
+            self.last_merge_bytes = merge_node_deltas(
+                self.switches, up_deltas, down_deltas
+            )
         return truth
 
     def _require_fresh_switches(self) -> None:

@@ -1,0 +1,160 @@
+"""Exposition: render the metrics registry for humans and scrapers.
+
+Three surfaces over one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`prometheus_text` — the Prometheus text exposition format (0.0.4),
+  one ``# HELP``/``# TYPE`` header per family, cumulative ``_bucket`` lines
+  for histograms.
+* :func:`snapshot` / :func:`write_snapshot` — a JSONL snapshot (one sample
+  per line) for offline diffing and artifact upload.
+* :class:`MetricsServer` — a daemon-thread ``http.server`` endpoint serving
+  ``/metrics`` (Prometheus text), ``/metrics.json`` (snapshot), and
+  ``/healthz``; this is what ``repro.cli serve --metrics-port`` starts.
+
+The server is read-only and holds no pipeline state: scraping can never
+perturb a run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    pairs = [f'{name}="{value}"' for name, value in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for values, child in metric.samples():
+            labels = _label_str(metric.labelnames, values)
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{metric.name}{labels} {_format_value(child.value)}")
+            elif isinstance(metric, Histogram):
+                for edge, cumulative in child.cumulative_buckets():
+                    bucket_labels = _label_str(
+                        metric.labelnames, values, f'le="{_format_value(edge)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{bucket_labels} {cumulative}")
+                lines.append(f"{metric.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{labels} {child.count}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """One JSON-able sample dict per (family, label set)."""
+    samples: List[Dict[str, Any]] = []
+    for metric in registry.collect():
+        for values, child in metric.samples():
+            sample: Dict[str, Any] = {
+                "name": metric.name,
+                "type": metric.kind,
+                "labels": dict(zip(metric.labelnames, values)),
+            }
+            if isinstance(metric, Histogram):
+                sample["sum"] = child.sum
+                sample["count"] = child.count
+                sample["buckets"] = [
+                    {"le": edge if edge != float("inf") else "+Inf",
+                     "count": cumulative}
+                    for edge, cumulative in child.cumulative_buckets()
+                ]
+            else:
+                sample["value"] = child.value
+            samples.append(sample)
+    return samples
+
+
+def snapshot_jsonl(registry: MetricsRegistry) -> str:
+    """The snapshot as JSONL text (one sample per line)."""
+    return "".join(
+        json.dumps(sample, separators=(",", ":")) + "\n"
+        for sample in snapshot(registry)
+    )
+
+
+def write_snapshot(path: str, registry: MetricsRegistry) -> None:
+    """Write the JSONL snapshot to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot_jsonl(registry))
+
+
+class MetricsServer:
+    """A read-only HTTP exposition endpoint on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    bound one either way.  The server starts immediately and is stopped with
+    :meth:`close` (idempotent).
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.registry = registry
+
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path in ("/metrics", "/"):
+                    body = prometheus_text(server.registry).encode("utf-8")
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                elif self.path == "/metrics.json":
+                    body = snapshot_jsonl(server.registry).encode("utf-8")
+                    content_type = "application/json"
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    content_type = "text/plain"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread.join(timeout=5)

@@ -1,0 +1,270 @@
+"""Low-overhead hierarchical stage tracing for the epoch pipeline.
+
+A :class:`StageTracer` hands out ``with tracer.span("decode"):`` context
+managers built on ``time.perf_counter_ns`` (monotonic, ~20ns per call).  Spans
+nest through a *thread-local* stack, so the pipelined engine's generation
+worker (producing epoch ``k+1``) and the analysis thread (inside epoch ``k``)
+each build their own hierarchy without locking each other; completed spans
+land in one shared, lock-guarded list.
+
+Three integration points make the tracer fit this pipeline specifically:
+
+* **Epoch tagging** — :meth:`set_epoch` stamps subsequently completed spans,
+  and producers tag their spans explicitly (``span("generate", epoch=k+1)``),
+  so :meth:`drain` can return exactly the spans belonging to epochs ``<= k``
+  while the next epoch's generation is still in flight.
+* **Shard shipping** — :class:`~repro.dataplane.sharded.ShardPool` workers
+  run in other processes where this tracer does not exist; they time their
+  phases with the same monotonic clock, return plain span dicts alongside
+  their sketch deltas, and the parent re-roots them under its current stack
+  position via :meth:`ingest`.
+* **Observability only** — the tracer measures the run and is never read
+  back by the pipeline, so a traced run is bit-identical to an untraced one
+  (property-tested across seeds and shard counts).
+
+``NULL_TRACER`` is the disabled implementation: every call is a no-op, so
+instrumented code paths do ``tracer = tracer or NULL_TRACER`` once and pay
+only an attribute lookup and a dead context manager when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Span:
+    """One completed stage measurement."""
+
+    __slots__ = ("name", "path", "epoch", "shard", "start_ns", "duration_ns")
+
+    def __init__(
+        self,
+        name: str,
+        path: Tuple[str, ...],
+        epoch: Optional[int],
+        start_ns: int,
+        duration_ns: int,
+        shard: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.epoch = epoch
+        self.start_ns = start_ns
+        self.duration_ns = duration_ns
+        self.shard = shard
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "path": list(self.path),
+            "epoch": self.epoch,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({'/'.join(self.path)}, epoch={self.epoch}, "
+            f"{self.duration_ns / 1e6:.3f}ms)"
+        )
+
+
+class _SpanHandle:
+    """The context manager a single ``tracer.span(...)`` call returns."""
+
+    __slots__ = ("_tracer", "_name", "_epoch", "_shard", "_path", "_start")
+
+    def __init__(self, tracer: "StageTracer", name: str,
+                 epoch: Optional[int], shard: Optional[int]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._epoch = epoch
+        self._shard = shard
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = self._tracer._stack()
+        parent: Tuple[str, ...] = stack[-1] if stack else ()
+        self._path = parent + (self._name,)
+        stack.append(self._path)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter_ns()
+        tracer = self._tracer
+        tracer._stack().pop()
+        epoch = self._epoch if self._epoch is not None else tracer._epoch
+        span = Span(self._name, self._path, epoch, self._start,
+                    end - self._start, self._shard)
+        with tracer._lock:
+            tracer._spans.append(span)
+        return False
+
+
+class _NullHandle:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, epoch: Optional[int] = None,
+             shard: Optional[int] = None) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def set_epoch(self, epoch: int) -> None:
+        pass
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]],
+               epoch: Optional[int] = None) -> None:
+        pass
+
+    def drain(self, upto_epoch: Optional[int] = None) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class StageTracer:
+    """Collects hierarchical stage spans on a monotonic nanosecond clock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._local = threading.local()
+        self._epoch: Optional[int] = None
+
+    def _stack(self) -> List[Tuple[str, ...]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, epoch: Optional[int] = None,
+             shard: Optional[int] = None) -> _SpanHandle:
+        """A context manager timing one stage, nested under the current span."""
+        return _SpanHandle(self, name, epoch, shard)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp spans completed from here on with this epoch index.
+
+        Spans that passed an explicit ``epoch=`` (the pipelined producer's
+        ``generate`` span, which runs ahead of the analysis epoch) keep it.
+        """
+        self._epoch = epoch
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]],
+               epoch: Optional[int] = None) -> None:
+        """Adopt spans measured elsewhere (shard workers) as children here.
+
+        Each dict carries a path *relative to the worker's phase*; it is
+        re-rooted under the calling thread's current span so shard work shows
+        up in the right place of the hierarchy (``epoch/simulate/...``).
+        ``start_ns`` values are worker-local and only durations are
+        cross-process comparable — the report layer aggregates durations.
+        """
+        stack = self._stack()
+        base: Tuple[str, ...] = stack[-1] if stack else ()
+        stamp = epoch if epoch is not None else self._epoch
+        adopted = [
+            Span(
+                name=entry["name"],
+                path=base + tuple(entry.get("path") or (entry["name"],)),
+                epoch=stamp,
+                start_ns=int(entry.get("start_ns", 0)),
+                duration_ns=int(entry["duration_ns"]),
+                shard=entry.get("shard"),
+            )
+            for entry in span_dicts
+        ]
+        with self._lock:
+            self._spans.extend(adopted)
+
+    def drain(self, upto_epoch: Optional[int] = None) -> List[Span]:
+        """Remove and return completed spans (optionally only epochs <= N).
+
+        The epoch filter is what makes draining race-free under the pipelined
+        engine: the producer may complete epoch ``k+1``'s ``generate`` span at
+        any moment, but ``drain(upto_epoch=k)`` leaves it queued for the next
+        epoch's drain.  Spans with no epoch stamp are always returned.
+        """
+        with self._lock:
+            if upto_epoch is None:
+                drained, self._spans = self._spans, []
+            else:
+                drained = [
+                    span for span in self._spans
+                    if span.epoch is None or span.epoch <= upto_epoch
+                ]
+                self._spans = [
+                    span for span in self._spans
+                    if not (span.epoch is None or span.epoch <= upto_epoch)
+                ]
+        return drained
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def stage_millis(spans: Iterable[Span]) -> Dict[str, float]:
+    """Total milliseconds per stage path ("epoch/simulate/merge" style keys).
+
+    This is the per-epoch ``timing`` record sub-dict: purely observational,
+    excluded from identity comparisons via ``TIMING_FIELDS``.
+    """
+    totals: Dict[str, float] = {}
+    for span in spans:
+        key = "/".join(span.path)
+        totals[key] = totals.get(key, 0.0) + span.duration_ns
+    return {key: value / 1e6 for key, value in totals.items()}
+
+
+class JsonlSpanSink:
+    """Append completed spans to a JSONL file, one span per line.
+
+    Lazy-open like the record sinks; spans are timing data and therefore not
+    part of the checkpoint/rewind protocol — a resumed service simply appends
+    its re-run epochs' spans.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = None
+
+    def write(self, spans: Iterable[Span]) -> None:
+        spans = list(spans)
+        if not spans:
+            return
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        for span in spans:
+            json.dump(span.to_dict(), self._file, separators=(",", ":"))
+            self._file.write("\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

@@ -1072,7 +1072,7 @@ def serve_churn_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         synthesize_churn_diffs,
     )
     from ..stream import MemorySink, StreamingEngine, SyntheticSource
-    from ..stream.engine import comparable
+    from ..obs import comparable
 
     diffs = synthesize_churn_diffs(
         epochs=params["epochs"],

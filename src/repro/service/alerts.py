@@ -11,9 +11,9 @@ result-derived record fields (rolling F1, rolling ARE, decode failures), so
 their transitions are part of the reproducible record stream — the service
 annotates each record's ``alerts`` field with them, and a resumed run
 re-fires them identically (rule state is checkpointed).  *Timing* rules
-(:class:`EpochLatencySlo`) read wall-clock fields; their alerts flow to the
-alert sinks but never into the identity-compared record fields, mirroring
-the engine's ``TIMING_FIELDS`` convention.
+(:class:`EpochLatencySlo`) read monotonic-clock timing fields; their alerts
+flow to the alert sinks but never into the identity-compared record fields,
+per the :data:`repro.obs.identity.TIMING_FIELDS` contract.
 """
 
 from __future__ import annotations
@@ -123,7 +123,13 @@ class DecodeFailureStreak(AlertRule):
 
 
 class EpochLatencySlo(AlertRule):
-    """Fire while an epoch's wall-clock time exceeds the SLO (timing rule)."""
+    """Fire while an epoch's duration exceeds the SLO (timing rule).
+
+    ``wall_ms`` is measured by the engine on the monotonic clock
+    (``time.perf_counter_ns``, like every ``repro.obs`` span timer), so the
+    SLO cannot misfire on wall-clock adjustments; it is still a timing field
+    and stays out of the identity-compared record stream.
+    """
 
     name = "epoch_latency_slo"
     deterministic = False

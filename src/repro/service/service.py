@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs.exposition import MetricsServer
 from ..stream.engine import StreamingEngine, StreamSummary
 from .alerts import AlertEngine
 from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
@@ -40,14 +42,35 @@ class TelemetryService:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: int = 1,
         handle_signals: bool = False,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0 (0 disables periodic checkpoints)")
+        if metrics_port is not None and engine.metrics is None:
+            raise ValueError(
+                "metrics_port requires an engine constructed with a "
+                "MetricsRegistry (StreamingEngine(metrics=...))"
+            )
         self.engine = engine
         self.alert_engine = alert_engine
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
         self.handle_signals = handle_signals
+        self.metrics_port = metrics_port
+        self.metrics_host = metrics_host
+        #: The live exposition endpoint while :meth:`run` is active (tests
+        #: read its bound port when ``metrics_port=0``).
+        self.metrics_server: Optional[MetricsServer] = None
+        self._alert_transitions = (
+            engine.metrics.counter(
+                "repro_alert_transitions_total",
+                "Alert rule firing/clearing transitions",
+                labels=("rule", "status"),
+            )
+            if engine.metrics is not None
+            else None
+        )
         self._stop_requested = False
         self._epochs_since_checkpoint = 0
         self._checkpointed_epoch: Optional[int] = None
@@ -88,6 +111,10 @@ class TelemetryService:
         if self.handle_signals:
             for signum in (signal.SIGINT, signal.SIGTERM):
                 previous_handlers[signum] = signal.signal(signum, self._handle_signal)
+        if self.metrics_port is not None:
+            self.metrics_server = MetricsServer(
+                self.engine.metrics, port=self.metrics_port, host=self.metrics_host
+            )
         try:
             summary = self.engine.run(
                 max_epochs=max_epochs,
@@ -103,7 +130,7 @@ class TelemetryService:
                 self._final_checkpoint()
             finally:
                 errors: List[BaseException] = []
-                for closer in (self._close_alerts, self.engine.close):
+                for closer in (self._close_alerts, self._close_metrics, self.engine.close):
                     try:
                         closer()
                     except Exception as error:  # noqa: BLE001 - finish shutdown
@@ -118,6 +145,11 @@ class TelemetryService:
         if self.alert_engine is not None:
             self.alert_engine.close()
 
+    def _close_metrics(self) -> None:
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+            self.metrics_server = None
+
     # ------------------------------------------------------------------ #
     # per-epoch hooks
     # ------------------------------------------------------------------ #
@@ -125,6 +157,11 @@ class TelemetryService:
         if self.alert_engine is None:
             return
         alerts = self.alert_engine.observe(record)
+        if self._alert_transitions is not None:
+            for alert in alerts:
+                self._alert_transitions.labels(
+                    rule=alert.rule, status=alert.status
+                ).inc()
         # Only deterministic transitions join the reproducible record stream;
         # timing-rule alerts reach the alert sinks but never the fields that
         # identity comparisons (``comparable``) look at.
@@ -210,8 +247,13 @@ class TelemetryService:
         if self.alert_engine is not None:
             self.alert_engine.sync()
         loop = self.engine.loop_state()
+        meta = self._spec_meta()
+        # The one legitimate wall-clock timestamp: a manifest annotation for
+        # operators (inspect_checkpoint).  Identity comparisons strip it via
+        # ``repro.obs.identity.comparable_checkpoint``.
+        meta["written_at"] = time.time()
         state = {
-            "meta": self._spec_meta(),
+            "meta": meta,
             "engine": loop,
             "system": self.engine.snapshot_system(),
             "alerts": (

@@ -9,7 +9,7 @@ network-state changes between epochs, and :mod:`~repro.stream.sinks` export
 one report per epoch as it happens.
 """
 
-from .engine import StreamingEngine, StreamSummary, comparable
+from .engine import TIMING_FIELDS, StreamingEngine, StreamSummary, comparable
 from .events import (
     EventSchedule,
     FlowBurstEvent,
@@ -33,6 +33,7 @@ from .sources import (
 __all__ = [
     "StreamingEngine",
     "StreamSummary",
+    "TIMING_FIELDS",
     "comparable",
     "EventSchedule",
     "StreamEvent",

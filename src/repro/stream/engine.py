@@ -35,6 +35,9 @@ from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, 
 
 from ..core.runner import ChameleMon, EpochResult
 from ..dataplane.config import SwitchResources
+from ..obs.identity import TIMING_FIELDS, comparable  # noqa: F401 - re-exported
+from ..obs.metrics import EpochMetrics, MetricsRegistry
+from ..obs.tracing import NULL_TRACER, StageTracer, stage_millis
 from ..traffic.flow import Trace
 from .events import EventSchedule, NetworkConditions, StreamEvent
 from .sinks import EpochSink
@@ -102,14 +105,10 @@ class StreamSummary:
         }
 
 
-#: Record fields that are timing, not results: excluded when comparing a
-#: pipelined run against a serial one for bit-identity.
-TIMING_FIELDS = ("wall_ms", "decode_ms")
-
-
-def comparable(record: Dict[str, Any]) -> Dict[str, Any]:
-    """A record with its timing fields stripped (for identity comparisons)."""
-    return {key: value for key, value in record.items() if key not in TIMING_FIELDS}
+# ``TIMING_FIELDS`` and ``comparable`` moved to :mod:`repro.obs.identity`
+# (the single source of truth for the identity-vs-timing contract); they are
+# re-imported above so existing ``from repro.stream.engine import comparable``
+# call sites keep working.
 
 
 class StreamingEngine:
@@ -127,6 +126,9 @@ class StreamingEngine:
         compute_tasks: bool = False,
         heavy_hitter_threshold: int = 500,
         shards: Optional[int] = None,
+        tracer: Optional[StageTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        span_sink: Optional[Any] = None,
     ) -> None:
         if rolling_window < 1:
             raise ValueError("rolling_window must be >= 1")
@@ -153,8 +155,16 @@ class StreamingEngine:
             # analysis, so the controller may decode them in place.
             destructive_analysis=True,
             shards=shards,
+            tracer=tracer,
         )
         self.conditions = NetworkConditions(self.system.simulator.topology, seed=seed)
+        # Observability (repro.obs): all three are optional and purely
+        # observational — a traced/metered run is bit-identical to a bare one.
+        self.tracer = tracer
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._instruments = EpochMetrics(metrics) if metrics is not None else None
+        self.span_sink = span_sink
         self._resident = _ResidentTracker()
         self._closed = False
         self._loop_live: Optional[Dict[str, Any]] = None
@@ -170,14 +180,18 @@ class StreamingEngine:
         pipelined), so the generation-side state — source iterator, event
         mutations, per-epoch seeds — evolves identically in both modes.
         """
-        self.conditions.apply_events(self.schedule.at(epoch))
-        try:
-            trace = next(iterator)
-        except StopIteration:
-            return None
-        trace = self.conditions.transform(trace, epoch)
-        self._resident.add(len(trace))
-        return trace
+        # The generate span is tagged with its own (future) epoch explicitly:
+        # under pipelining it completes while epoch-1's analysis is running,
+        # and the tag keeps the per-epoch drain deterministic.
+        with self._tracer.span("generate", epoch=epoch):
+            self.conditions.apply_events(self.schedule.at(epoch))
+            try:
+                trace = next(iterator)
+            except StopIteration:
+                return None
+            trace = self.conditions.transform(trace, epoch)
+            self._resident.add(len(trace))
+            return trace
 
     def _submit(
         self, pool: Optional[ThreadPoolExecutor], iterator: Iterator[Trace], epoch: int
@@ -244,6 +258,11 @@ class StreamingEngine:
                 sink.close()
             except Exception as error:  # noqa: BLE001 - every sink must be tried
                 errors.append(error)
+        if self.span_sink is not None:
+            try:
+                self.span_sink.close()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
         try:
             self.system.close()
         except Exception as error:  # noqa: BLE001
@@ -306,9 +325,9 @@ class StreamingEngine:
                 if max_epochs is None or epoch + 1 < max_epochs
                 else None
             )
-            epoch_start = time.perf_counter()
+            epoch_start = time.perf_counter_ns()
             result = self.system.run_epoch(trace)
-            wall_ms = (time.perf_counter() - epoch_start) * 1000.0
+            wall_ms = (time.perf_counter_ns() - epoch_start) / 1e6
             num_flows = len(trace)
             packets = trace.num_packets()
             self._resident.remove(num_flows)
@@ -321,6 +340,26 @@ class StreamingEngine:
             record = self._record(
                 epoch, result, num_flows, packets, accuracy, f1_window, are_window, wall_ms
             )
+            if self.tracer is not None:
+                # Only spans belonging to epochs <= this one: the pipelined
+                # producer may have already completed epoch+1's generate span.
+                spans = self.tracer.drain(upto_epoch=epoch)
+                record["timing"] = stage_millis(spans)
+                if self.span_sink is not None:
+                    self.span_sink.write(spans)
+            if self._instruments is not None:
+                snapshot = result.report.snapshot
+                self._instruments.observe(
+                    record,
+                    decode_success={
+                        "hh": snapshot.hh_decode_success,
+                        "hl": snapshot.hl_decode_success,
+                        "ll": snapshot.ll_decode_success,
+                    },
+                    layout=result.config.layout,
+                    num_arrays=self.system.resources.num_arrays,
+                    merge_bytes=self.system.simulator.last_merge_bytes,
+                )
             if record_hook is not None:
                 record_hook(epoch, record, result)
             for sink in self.sinks:
