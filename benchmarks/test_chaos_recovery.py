@@ -1,0 +1,156 @@
+"""Chaos recovery benchmark: what a fault costs, and that recovery is exact.
+
+Two measured legs, one machine-readable artifact
+(``BENCH_chaos_recovery.json``):
+
+* **Shard-worker death** — a sharded streaming run with a hard worker kill
+  injected mid-run.  The supervisor respawns the pool and recomputes the
+  epoch; the benchmark reports the faulted epoch's wall time against the
+  median clean epoch (the recovery overhead a deployment would see) and
+  asserts the record stream is *bit-identical* to the fault-free run.
+* **Checkpoint corruption** — a checkpointed service interrupted, its newest
+  checkpoint corrupted on disk, then resumed.  The benchmark reports the
+  quarantine-and-fallback resume wall time and asserts the resumed JSONL is
+  bit-identical to an uninterrupted reference.
+
+Correctness (recovery fired, streams identical) is gated hard; timing is
+recorded, not gated — recovery latency is dominated by process spin-up,
+which CI containers cannot promise.
+"""
+
+import json
+import os
+import statistics
+import time
+
+import conftest
+from conftest import print_table
+
+CORES = os.cpu_count() or 1
+
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_chaos_recovery.json",
+)
+
+SEED = 47
+EPOCHS = 8
+CRASH_EPOCH = 4
+
+
+def _engine(flows, sinks, chaos=None, shards=2):
+    from repro.dataplane.config import SwitchResources
+    from repro.stream import StreamingEngine, SyntheticSource
+
+    source = SyntheticSource.steady(
+        num_flows=flows, epochs=EPOCHS, victim_ratio=0.1, loss_rate=0.05,
+        seed=SEED,
+    )
+    return StreamingEngine(
+        source,
+        sinks=sinks,
+        resources=SwitchResources.scaled(0.05),
+        seed=SEED,
+        pipelined=True,
+        rolling_window=4,
+        shards=shards,
+        chaos=chaos,
+    )
+
+
+def test_chaos_recovery_latency_and_artifact(tmp_path):
+    from repro.chaos import FaultInjector, corrupt_checkpoint
+    from repro.service import TelemetryService
+    from repro.stream import JsonlSink, MemorySink, comparable
+
+    flows = conftest.scaled(4000, minimum=500)
+
+    # ---- leg 1: shard-worker death mid-run --------------------------------
+    clean_sink = MemorySink()
+    _engine(flows, [clean_sink]).run()
+    clean = [comparable(record) for record in clean_sink.records]
+
+    chaos = FaultInjector.from_spec({
+        "seed": SEED,
+        "supervision": {"max_respawns": 2, "backoff_base": 0.01},
+        "faults": [{"kind": "shard_crash", "epoch": CRASH_EPOCH, "shard": 1,
+                    "mode": "kill"}],
+    })
+    chaos_sink = MemorySink()
+    _engine(flows, [chaos_sink], chaos=chaos).run()
+    recovered = [comparable(record) for record in chaos_sink.records]
+    counts = chaos.monitor.snapshot()
+
+    assert counts["faults_injected"] == {"shard_crash": 1}
+    assert counts["recoveries"] == {"shard_pool": 1}
+    assert recovered == clean, "post-recovery stream must be bit-identical"
+
+    walls = [record["wall_ms"] for record in chaos_sink.records]
+    faulted_wall = walls[CRASH_EPOCH]
+    clean_walls = walls[:CRASH_EPOCH] + walls[CRASH_EPOCH + 1:]
+    median_wall = statistics.median(clean_walls)
+
+    # ---- leg 2: checkpoint corruption + fallback resume -------------------
+    checkpoint = str(tmp_path / "bench.rtck")
+    out_path = str(tmp_path / "bench.jsonl")
+    ref_path = str(tmp_path / "bench_ref.jsonl")
+    TelemetryService(_engine(flows, [JsonlSink(ref_path)], shards=None)).run()
+    TelemetryService(
+        _engine(flows, [JsonlSink(out_path)], shards=None),
+        checkpoint_path=checkpoint, checkpoint_interval=2, keep_checkpoints=2,
+    ).run(max_epochs=CRASH_EPOCH)
+    corrupt_checkpoint(checkpoint, mode="bitflip", key=SEED)
+
+    resume_start = time.perf_counter()
+    resume_service = TelemetryService(
+        _engine(flows, [JsonlSink(out_path)], shards=None),
+        checkpoint_path=checkpoint, checkpoint_interval=2, keep_checkpoints=2,
+    )
+    resume_service.run(resume=True)
+    resume_seconds = time.perf_counter() - resume_start
+
+    assert os.path.exists(checkpoint + ".bad"), "corrupt link must quarantine"
+    assert resume_service.monitor.recoveries.get("checkpoint", 0) == 1
+
+    def records_of(path):
+        with open(path) as handle:
+            return [comparable(json.loads(line)) for line in handle]
+
+    assert records_of(out_path) == records_of(ref_path), (
+        "fallback resume must reproduce the uninterrupted stream exactly"
+    )
+
+    rows = [
+        ["clean epoch (median)", f"{median_wall:.1f}", "-"],
+        ["faulted epoch (kill + respawn + recompute)", f"{faulted_wall:.1f}",
+         f"{faulted_wall / max(median_wall, 1e-9):.2f}x"],
+        ["checkpoint-fallback resume (s)", f"{resume_seconds:.2f}", "-"],
+    ]
+    print_table(
+        f"Chaos recovery ({flows} flows, 2 shards, {CORES} cores)",
+        ["leg", "wall ms", "vs median"],
+        rows,
+    )
+
+    artifact = {
+        "scenario": "chaos_recovery",
+        "params": {"flows": flows, "epochs": EPOCHS,
+                   "crash_epoch": CRASH_EPOCH, "shards": 2, "seed": SEED},
+        "rows": [
+            {"leg": "shard_kill", "faulted_epoch_wall_ms": faulted_wall,
+             "median_clean_epoch_wall_ms": median_wall,
+             "recovery_overhead_ratio": faulted_wall / max(median_wall, 1e-9),
+             "faults_injected": counts["faults_injected"],
+             "recoveries": counts["recoveries"],
+             "stream_identical": recovered == clean},
+            {"leg": "checkpoint_corruption",
+             "resume_wall_seconds": resume_seconds,
+             "recoveries": dict(resume_service.monitor.recoveries),
+             "quarantined": [checkpoint + ".bad"],
+             "stream_identical": True},
+        ],
+        "extras": {"cores": CORES, "repro_scale": conftest.SCALE},
+    }
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+    print(f"perf artifact written to {ARTIFACT_PATH}")

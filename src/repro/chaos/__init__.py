@@ -1,0 +1,43 @@
+"""Deterministic chaos engineering for the repro pipeline.
+
+:mod:`repro.chaos.inject` holds the whole subsystem: declarative
+:class:`FaultSpec` entries, the seed-keyed :class:`FaultInjector` whose
+substreams mirror ``epoch_loss_key``, the shared fault/recovery accounting
+(:class:`ChaosMonitor`), and the supervision/retry policies the hardened
+runtime layers consume (:class:`SupervisionPolicy` for the shard pool,
+:class:`RetryPolicy` for sink writes).
+"""
+
+from .inject import (
+    CHECKPOINT_CORRUPTIONS,
+    FAULT_KINDS,
+    ChaosMonitor,
+    ChaosSpecError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    SupervisionPolicy,
+    chaos_key,
+    chaos_mix64,
+    chaos_uniform,
+    corrupt_checkpoint,
+    execute_worker_fault,
+)
+
+__all__ = [
+    "CHECKPOINT_CORRUPTIONS",
+    "ChaosMonitor",
+    "ChaosSpecError",
+    "chaos_key",
+    "chaos_mix64",
+    "chaos_uniform",
+    "corrupt_checkpoint",
+    "execute_worker_fault",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "SupervisionPolicy",
+]

@@ -551,11 +551,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     seed = args.seed if getattr(args, "seed", None) is not None else 0
     scale = getattr(args, "scale", None)
     loss_rate = getattr(args, "loss_rate", None)
+
+    chaos = None
+    tracer, metrics, span_sink = _build_observability(args)
+    if getattr(args, "chaos_spec", None):
+        from .chaos import ChaosSpecError, FaultInjector
+
+        try:
+            chaos = FaultInjector.load(args.chaos_spec, default_seed=seed)
+        except ChaosSpecError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if metrics is not None:
+            chaos.monitor.bind(metrics)
+
     try:
         source = _build_stream_source(args, seed, loss_rate)
         events = ()
         if args.state_diffs:
-            events = compile_state_diffs(read_state_diffs(args.state_diffs))
+            if chaos is not None:
+                # Chaos runs read the feed leniently: corrupted lines are
+                # skipped with a counted warning, not a fatal parse error.
+                monitor = chaos.monitor
+
+                def _reject(line_number: int, reason: str) -> None:
+                    monitor.netstate_rejected()
+                    print(
+                        f"[serve] skipping {args.state_diffs}:{line_number}: "
+                        f"{reason}",
+                        file=sys.stderr,
+                    )
+
+                diffs = read_state_diffs(
+                    args.state_diffs,
+                    strict=False,
+                    on_reject=_reject,
+                    fault_hook=chaos.netstate_hook(),
+                )
+            else:
+                diffs = read_state_diffs(args.state_diffs)
+            events = compile_state_diffs(diffs)
     except (ScenarioError, NetworkStateError, ValueError, KeyError, OSError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -569,7 +604,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not args.quiet and not stdout_taken:
         sinks.append(ConsoleSink())
 
-    tracer, metrics, span_sink = _build_observability(args)
     engine = StreamingEngine(
         source,
         events=events,
@@ -582,6 +616,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         span_sink=span_sink,
+        chaos=chaos,
     )
     service = TelemetryService(
         engine,
@@ -590,6 +625,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         handle_signals=True,
         metrics_port=args.metrics_port,
+        chaos=chaos,
+        keep_checkpoints=args.keep_checkpoints,
     )
     if args.metrics_port is not None and not args.quiet:
         print(f"[serve] metrics port {args.metrics_port} "
@@ -601,6 +638,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     _write_metrics_snapshot(args, metrics)
     stream = sys.stderr if stdout_taken or args.quiet else sys.stdout
+    if chaos is not None:
+        snapshot = chaos.monitor.snapshot()
+        print(
+            f"[serve] chaos: faults {snapshot['faults_injected']}, "
+            f"recoveries {snapshot['recoveries']}, "
+            f"{snapshot['degraded_epochs']} degraded epochs, "
+            f"{snapshot['netstate_rejected_lines']} netstate lines rejected",
+            file=stream,
+        )
     checkpoint_note = f", checkpoint {args.checkpoint}" if args.checkpoint else ""
     print(
         f"[serve] {summary.epochs} epochs, {summary.packets} packets in "
@@ -1109,6 +1155,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--resume", action="store_true",
                      help="restore from --checkpoint if it exists and continue "
                           "bit-identically")
+    sub.add_argument("--keep-checkpoints", type=int, dest="keep_checkpoints",
+                     default=2, metavar="N",
+                     help="checkpoint chain depth: keep the last N .rtck "
+                          "files and fall back on resume when the newest is "
+                          "corrupt (quarantined to .rtck.bad)")
+    sub.add_argument("--chaos", dest="chaos_spec", metavar="SPEC.json",
+                     help="inject deterministic faults from this chaos spec "
+                          "(see repro.chaos; faults are keyed on the run seed)")
     sub.add_argument("--inspect", action="store_true",
                      help="print a summary of --checkpoint and exit")
     sub.add_argument("--alerts", dest="alerts_out", metavar="PATH",

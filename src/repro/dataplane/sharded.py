@@ -43,12 +43,15 @@ from __future__ import annotations
 import contextlib
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as PhaseTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..chaos import ChaosMonitor, InjectedFault, SupervisionPolicy, execute_worker_fault
 from ..traffic.store import (
     columns_buffer_capacity,
     columns_from_buffer,
@@ -176,15 +179,20 @@ def _phase1_task(
     key: int,
     configs: Dict[Any, Any],
     with_spans: bool = False,
+    fault: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[Any, Dict[str, Any]], List[Dict[str, Any]]]:
     """Classify + upstream-encode this shard's ingress switches; apply losses.
 
     With ``with_spans=True`` the phase is timed on this worker's monotonic
     clock and span dicts ship back with the deltas; the parent's tracer
     re-roots them under ``epoch/simulate`` (paths here are phase-relative).
+    ``fault`` is a parent-decided chaos descriptor executed before any work
+    (the retried epoch rewrites every scratch position, so a crash here
+    leaves nothing partial behind).
     """
     from ..network.simulator import apply_victim_losses, endpoint_switch_indices
 
+    execute_worker_fault(fault)
     phase_start = time.perf_counter_ns()
     loss_ns = 0
     data, scratch = _attach_buffers(data_name, scratch_name)
@@ -377,25 +385,58 @@ def merge_node_deltas(
 # --------------------------------------------------------------------------- #
 # the pool
 # --------------------------------------------------------------------------- #
+class ShardRecoveryExhausted(RuntimeError):
+    """The supervisor gave up: an epoch kept failing across pool respawns."""
+
+
+#: Worker failures the supervisor may recover from by respawning the pool and
+#: recomputing the epoch.  Deterministic task bugs (``KeyError`` and friends)
+#: are deliberately absent: retrying those would loop forever, so they
+#: propagate immediately with the pool torn down.
+_RECOVERABLE = (BrokenProcessPool, PhaseTimeout, InjectedFault, OSError)
+
+
 class ShardPool:
     """Persistent worker pool executing sharded epochs over shared memory.
 
     Workers and shared-memory buffers survive across epochs (spin-up and
     buffer allocation are paid once); buffers grow geometrically on demand and
     are unlinked on :meth:`close`.
+
+    With a :class:`~repro.chaos.SupervisionPolicy` the pool also survives its
+    workers: a crashed (``BrokenProcessPool``), hung (per-phase timeout), or
+    chaos-injected (:class:`~repro.chaos.InjectedFault` / ``OSError``) epoch
+    is retried on a freshly respawned pool with jittered exponential backoff,
+    up to ``max_respawns`` times.  The recompute is bit-identical to the
+    fault-free run: the packed column block is read-only to workers, phase 1
+    rewrites every scratch position it owns, and loss draws are keyed on
+    (seed, epoch, trace position) — never on execution order.
     """
 
-    def __init__(self, plan: _ShardPlan, num_shards: int) -> None:
+    def __init__(
+        self,
+        plan: _ShardPlan,
+        num_shards: int,
+        supervision: Optional[SupervisionPolicy] = None,
+        monitor: Optional[ChaosMonitor] = None,
+    ) -> None:
         self.plan = plan
         self.num_shards = num_shards
-        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-            max_workers=num_shards, initializer=_init_worker, initargs=(plan,)
-        )
+        self.supervision = supervision if supervision is not None else SupervisionPolicy()
+        self.monitor = monitor
+        self._broken = False
+        self._executor: Optional[ProcessPoolExecutor] = self._spawn_executor()
         self._data_shm: Optional[shared_memory.SharedMemory] = None
         self._scratch_shm: Optional[shared_memory.SharedMemory] = None
 
     @classmethod
-    def for_simulator(cls, simulator, num_shards: int) -> "ShardPool":
+    def for_simulator(
+        cls,
+        simulator,
+        num_shards: int,
+        supervision: Optional[SupervisionPolicy] = None,
+        monitor: Optional[ChaosMonitor] = None,
+    ) -> "ShardPool":
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         plan = _ShardPlan(
@@ -412,7 +453,13 @@ class ShardPool:
             },
             num_shards=num_shards,
         )
-        return cls(plan, num_shards)
+        return cls(plan, num_shards, supervision=supervision, monitor=monitor)
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.num_shards, initializer=_init_worker,
+            initargs=(self.plan,),
+        )
 
     # ------------------------------------------------------------------ #
     def _ensure_buffers(self, num_flows: int) -> Tuple[Dict[str, int], int]:
@@ -439,7 +486,13 @@ class ShardPool:
             shm.unlink()
 
     def run_epoch(
-        self, columns, key: int, configs: Dict[Any, Any], with_spans: bool = False
+        self,
+        columns,
+        key: int,
+        configs: Dict[Any, Any],
+        with_spans: bool = False,
+        epoch: Optional[int] = None,
+        faults: Sequence[Dict[str, Any]] = (),
     ) -> Tuple[
         Dict[Any, Dict[str, Any]],
         Dict[Any, Dict[str, Any]],
@@ -453,11 +506,72 @@ class ShardPool:
         is dispatched — phase 2 reads hierarchy counts written by every shard.
         ``with_spans=True`` has each worker time its phases and ship span
         dicts back with the deltas (empty list otherwise).
+
+        ``faults`` are chaos descriptors (:meth:`FaultInjector.shard_faults`)
+        applied on the first attempt only; a recoverable failure respawns the
+        pool and recomputes the whole epoch fault-free.  Each recovery adds a
+        ``recover`` span and, when a monitor is attached, one
+        ``repro_recoveries_total{site="shard_pool"}`` increment.
         """
         if self._executor is None:
             raise RuntimeError("ShardPool is closed")
         scratch_offsets, _ = self._ensure_buffers(len(columns))
         data_meta = pack_columns_into(self._data_shm.buf, columns)
+        recovery_spans: List[Dict[str, Any]] = []
+        attempt = 0
+        while True:
+            try:
+                up_deltas, down_deltas, spans = self._dispatch_epoch(
+                    data_meta, scratch_offsets, key, configs, with_spans,
+                    faults if attempt == 0 else (),
+                )
+            except _RECOVERABLE as error:
+                self._broken = True
+                if attempt >= self.supervision.max_respawns:
+                    self.close()
+                    raise ShardRecoveryExhausted(
+                        f"shard epoch failed after {attempt + 1} attempts "
+                        f"({self.supervision.max_respawns} respawns): {error!r}"
+                    ) from error
+                recover_start = time.perf_counter_ns()
+                self._respawn()
+                delay = self.supervision.backoff_delay(
+                    key, "shard_pool", epoch if epoch is not None else 0, attempt
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                recovery_spans.append({
+                    "name": "recover",
+                    "path": ["recover"],
+                    "shard": None,
+                    "start_ns": recover_start,
+                    "duration_ns": time.perf_counter_ns() - recover_start,
+                })
+                attempt += 1
+                continue
+            if attempt and self.monitor is not None:
+                self.monitor.recovery("shard_pool")
+            if with_spans:
+                spans = spans + recovery_spans
+            return up_deltas, down_deltas, spans
+
+    def _dispatch_epoch(
+        self,
+        data_meta: Dict[str, Any],
+        scratch_offsets: Dict[str, int],
+        key: int,
+        configs: Dict[Any, Any],
+        with_spans: bool,
+        faults: Sequence[Dict[str, Any]],
+    ) -> Tuple[
+        Dict[Any, Dict[str, Any]],
+        Dict[Any, Dict[str, Any]],
+        List[Dict[str, Any]],
+    ]:
+        """One attempt at the two-phase epoch protocol (no retry logic)."""
+        fault_by_shard: Dict[int, Dict[str, Any]] = {}
+        for fault in faults:
+            fault_by_shard.setdefault(int(fault.get("shard", 0)) % self.num_shards, fault)
         common = (
             self._data_shm.name,
             data_meta,
@@ -467,13 +581,13 @@ class ShardPool:
         spans: List[Dict[str, Any]] = []
         phase1 = [
             self._executor.submit(
-                _phase1_task, shard, *common, key, configs, with_spans
+                _phase1_task, shard, *common, key, configs, with_spans,
+                fault_by_shard.get(shard),
             )
             for shard in range(self.num_shards)
         ]
         up_deltas: Dict[Any, Dict[str, Any]] = {}
-        for future in phase1:
-            deltas, shard_spans = future.result()
+        for deltas, shard_spans in self._collect(phase1):
             up_deltas.update(deltas)
             spans.extend(shard_spans)
         phase2 = [
@@ -481,23 +595,84 @@ class ShardPool:
             for shard in range(self.num_shards)
         ]
         down_deltas: Dict[Any, Dict[str, Any]] = {}
-        for future in phase2:
-            deltas, shard_spans = future.result()
+        for deltas, shard_spans in self._collect(phase2):
             down_deltas.update(deltas)
             spans.extend(shard_spans)
         return up_deltas, down_deltas, spans
+
+    def _collect(self, futures: List[Any]) -> List[Any]:
+        """Collect one phase's futures under the supervision deadline.
+
+        ``task_timeout`` bounds the whole phase's wall time (the phase barrier
+        is the unit of recovery); a worker sleeping past it surfaces as
+        ``concurrent.futures.TimeoutError``, which the supervisor treats like
+        a crash.  On any failure the remaining futures are cancelled — the
+        respawn tears the executor down anyway.
+        """
+        timeout = self.supervision.task_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        collected = []
+        try:
+            for future in futures:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.001, deadline - time.monotonic())
+                collected.append(future.result(timeout=remaining))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return collected
+
+    def _respawn(self) -> None:
+        """Replace a broken executor with a fresh one (buffers are kept).
+
+        The shared-memory blocks survive — new workers re-attach by name and
+        the epoch retry rewrites every scratch position — so respawn cost is
+        process spin-up only.
+        """
+        self._force_shutdown()
+        self._executor = self._spawn_executor()
+        self._broken = False
+
+    def _force_shutdown(self) -> None:
+        """Tear down the executor without joining possibly-hung workers."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            with contextlib.suppress(Exception):
+                process.terminate()
+        with contextlib.suppress(Exception):
+            executor.shutdown(wait=False, cancel_futures=True)
 
     @property
     def closed(self) -> bool:
         return self._executor is None
 
     def close(self) -> None:
-        """Shut the workers down and unlink both shared-memory blocks."""
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True, cancel_futures=True)
-        self._release_buffer("_data_shm")
-        self._release_buffer("_scratch_shm")
+        """Shut the workers down and unlink both shared-memory blocks.
+
+        Idempotent and exception-safe: a pool marked broken (dead or hung
+        workers) is force-terminated instead of joined, a graceful shutdown
+        that raises falls back to the forced path, and the shared-memory
+        blocks are always released — teardown never masks the worker error
+        that triggered it.
+        """
+        try:
+            if self._broken:
+                self._force_shutdown()
+            else:
+                executor, self._executor = self._executor, None
+                if executor is not None:
+                    try:
+                        executor.shutdown(wait=True, cancel_futures=True)
+                    except Exception:
+                        with contextlib.suppress(Exception):
+                            executor.shutdown(wait=False, cancel_futures=True)
+        finally:
+            self._release_buffer("_data_shm")
+            self._release_buffer("_scratch_shm")
 
     def __enter__(self) -> "ShardPool":
         return self

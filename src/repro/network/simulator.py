@@ -350,6 +350,12 @@ class NetworkSimulator:
         self._rng = random.Random(seed)
         self._epoch_counter = 0
         self._shard_pool = None
+        #: Chaos wiring (set by the engine): a FaultInjector arming shard
+        #: faults, the shared ChaosMonitor, and the pool SupervisionPolicy.
+        #: All three default to None — the fault-free fast path is unchanged.
+        self.chaos = None
+        self.monitor = None
+        self.supervision = None
         #: Sketch-delta bytes merged centrally in the last sharded epoch
         #: (0 for serial epochs); read by the engine's metrics instruments.
         self.last_merge_bytes = 0
@@ -430,11 +436,12 @@ class NetworkSimulator:
         ground truth (sizes and losses are summed), matching what the sketches
         record.
         """
-        key = epoch_loss_key(self._seed, self._epoch_counter)
+        epoch = self._epoch_counter
+        key = epoch_loss_key(self._seed, epoch)
         self._epoch_counter += 1
         self.last_merge_bytes = 0
         if shards is not None and shards > 0:
-            return self._run_epoch_sharded(trace, int(shards), key, tracer)
+            return self._run_epoch_sharded(trace, int(shards), key, tracer, epoch)
         if batched:
             return self._run_epoch_batched(trace, key, tracer)
         return self._run_epoch_scalar(trace, key)
@@ -546,7 +553,12 @@ class NetworkSimulator:
     # sharded execution
     # ------------------------------------------------------------------ #
     def _run_epoch_sharded(
-        self, trace: Trace, shards: int, key: int, tracer: Optional[object] = None
+        self,
+        trace: Trace,
+        shards: int,
+        key: int,
+        tracer: Optional[object] = None,
+        epoch: int = 0,
     ) -> EpochTruth:
         """Fan one epoch out over the persistent shard pool and merge centrally."""
         tracer = tracer if tracer is not None else NULL_TRACER
@@ -563,9 +575,13 @@ class NetworkSimulator:
         )
         accumulate_truth(truth, columns, ingress, self.edge_nodes)
         configs = {node: switch.config for node, switch in self.switches.items()}
+        faults = (
+            self.chaos.shard_faults(epoch, shards) if self.chaos is not None else ()
+        )
         try:
             up_deltas, down_deltas, shard_spans = pool.run_epoch(
-                columns, key, configs, with_spans=tracer.enabled
+                columns, key, configs, with_spans=tracer.enabled,
+                epoch=epoch, faults=faults,
             )
         except Exception:
             # A failed sharded epoch leaves workers/buffers in an undefined
@@ -601,7 +617,9 @@ class NetworkSimulator:
         if self._shard_pool is None:
             from ..dataplane.sharded import ShardPool
 
-            self._shard_pool = ShardPool.for_simulator(self, shards)
+            self._shard_pool = ShardPool.for_simulator(
+                self, shards, supervision=self.supervision, monitor=self.monitor
+            )
         return self._shard_pool
 
     @property

@@ -1145,6 +1145,143 @@ def serve_churn_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     return output
 
 
+@scenario(
+    "serve_chaos",
+    title="chaos-hardened service: injected faults, supervised recovery",
+    params=dict(
+        workload="DCTCP",
+        flows=400,
+        epochs=10,
+        victim_ratio=0.08,
+        loss_rate=0.05,
+        shards=2,
+        crash_epoch=3,
+        crash_mode="kill",
+        sink_error_epoch=2,
+        interrupt_epoch=6,
+        corrupt_mode="bitflip",
+        checkpoint_interval=2,
+        keep_checkpoints=2,
+        task_timeout=60.0,
+        max_respawns=2,
+        scale=0.05,
+        pipelined=True,
+        rolling_window=4,
+    ),
+    seed=57,
+    smoke=dict(flows=150, epochs=6, crash_epoch=2, sink_error_epoch=1,
+               interrupt_epoch=4),
+    tags=("stream", "service", "chaos"),
+)
+def serve_chaos_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """The service under deterministic chaos: crash, sink error, corruption.
+
+    Runs a sharded service with three injected faults — a shard-worker death
+    at ``crash_epoch``, a sink flush ``OSError`` at ``sink_error_epoch``, and
+    corruption of the newest checkpoint at the ``interrupt_epoch`` boundary —
+    then resumes fault-free.  The resume quarantines the corrupt checkpoint,
+    falls back along the chain, and recomputes; the verdict asserts every
+    recovery fired and the final JSONL record stream is bit-identical (per
+    the ``TIMING_FIELDS`` contract) to a fault-free reference run.
+    """
+    import json as json_module
+    import os
+    import tempfile
+
+    from ..chaos import FaultInjector
+    from ..dataplane.config import SwitchResources
+    from ..obs import comparable
+    from ..service import TelemetryService
+    from ..stream import JsonlSink, MemorySink, StreamingEngine, SyntheticSource
+
+    def build(sink_path, chaos):
+        source = SyntheticSource.steady(
+            num_flows=params["flows"],
+            epochs=params["epochs"],
+            victim_ratio=params["victim_ratio"],
+            loss_rate=params["loss_rate"],
+            workload=params["workload"],
+            seed=seed,
+        )
+        return StreamingEngine(
+            source,
+            sinks=[MemorySink(), JsonlSink(sink_path)],
+            resources=SwitchResources.scaled(params["scale"]),
+            seed=seed,
+            pipelined=params["pipelined"],
+            rolling_window=params["rolling_window"],
+            shards=params["shards"],
+            chaos=chaos,
+        )
+
+    spec = {
+        "seed": seed,
+        "supervision": {
+            "task_timeout": params["task_timeout"],
+            "max_respawns": params["max_respawns"],
+            "backoff_base": 0.01,
+        },
+        "faults": [
+            {"kind": "shard_crash", "epoch": params["crash_epoch"],
+             "shard": 1, "mode": params["crash_mode"]},
+            {"kind": "sink_flush_error", "epoch": params["sink_error_epoch"]},
+            {"kind": "checkpoint_corrupt", "epoch": params["interrupt_epoch"],
+             "mode": params["corrupt_mode"]},
+        ],
+    }
+
+    with tempfile.TemporaryDirectory(prefix="serve_chaos_") as tmp:
+        checkpoint = os.path.join(tmp, "serve_chaos.rtck")
+        ref_path = os.path.join(tmp, "ref.jsonl")
+        out_path = os.path.join(tmp, "chaos.jsonl")
+        # The fault-free reference run.
+        TelemetryService(build(ref_path, None)).run(max_epochs=params["epochs"])
+        # The chaos run up to the interrupt: shard crash + sink error are
+        # recovered in-line; the final checkpoint is corrupted on disk.
+        chaos = FaultInjector.from_spec(spec, default_seed=seed)
+        TelemetryService(
+            build(out_path, chaos),
+            checkpoint_path=checkpoint,
+            checkpoint_interval=params["checkpoint_interval"],
+            keep_checkpoints=params["keep_checkpoints"],
+        ).run(max_epochs=params["interrupt_epoch"])
+        chaos_counts = chaos.monitor.snapshot()
+        # The fault-free resume: quarantines the corrupt newest checkpoint,
+        # falls back along the chain, rewinds the JSONL sink, recomputes.
+        resume_service = TelemetryService(
+            build(out_path, None),
+            checkpoint_path=checkpoint,
+            checkpoint_interval=params["checkpoint_interval"],
+            keep_checkpoints=params["keep_checkpoints"],
+        )
+        summary = resume_service.run(max_epochs=params["epochs"], resume=True)
+        resume_counts = resume_service.monitor.snapshot()
+        quarantined = [
+            name for name in sorted(os.listdir(tmp)) if name.endswith(".bad")
+        ]
+        with open(out_path) as handle:
+            records = [json_module.loads(line) for line in handle]
+        with open(ref_path) as handle:
+            reference = [json_module.loads(line) for line in handle]
+
+    identical = (
+        [comparable(r) for r in records] == [comparable(r) for r in reference]
+    )
+    recovered = (
+        chaos_counts["recoveries"].get("shard_pool", 0) >= 1
+        and chaos_counts["sink_retries"] >= 1
+        and resume_counts["recoveries"].get("checkpoint", 0) >= 1
+    )
+    output = _stream_output(records, summary)
+    output["extras"]["recovered"] = recovered
+    output["extras"]["stream_identical"] = identical
+    output["extras"]["chaos"] = chaos_counts
+    output["extras"]["resume_chaos"] = resume_counts
+    output["extras"]["quarantined"] = quarantined
+    output["extras"]["verdict"] = "pass" if (recovered and identical) else "fail"
+    return output
+
+
 # --------------------------------------------------------------------------- #
 # Full-system demo
 # --------------------------------------------------------------------------- #

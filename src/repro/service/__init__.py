@@ -23,6 +23,7 @@ from .alerts import (
     EpochLatencySlo,
     JsonlAlertSink,
     MemoryAlertSink,
+    ResilientAlertSink,
     RollingAreCeiling,
     RollingF1Floor,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "parse_device",
     "read_checkpoint",
     "read_state_diffs",
+    "ResilientAlertSink",
     "RollingAreCeiling",
     "RollingF1Floor",
     "StateDiff",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Tuple
 
@@ -220,6 +221,85 @@ class MemoryAlertSink(AlertSink):
 
     def emit(self, alert: Alert) -> None:
         self.alerts.append(alert)
+
+
+class ResilientAlertSink(AlertSink):
+    """Retry/backoff wrapper hardening an alert sink against transient I/O.
+
+    The alert twin of :class:`repro.stream.sinks.ResilientSink`: ``OSError``
+    from :meth:`emit` is retried per the
+    :class:`~repro.chaos.RetryPolicy` with deterministically jittered
+    sleeps; an exhausted fail-open emit drops the transition with a counted
+    warning.  Checkpoint hooks delegate, so wrapping is resume-transparent.
+    """
+
+    def __init__(
+        self,
+        inner: AlertSink,
+        policy: Optional[Any] = None,
+        seed: int = 0,
+        monitor: Optional[Any] = None,
+        warn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        from ..chaos import RetryPolicy
+
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.seed = seed
+        self.monitor = monitor
+        self._warn = warn if warn is not None else (
+            lambda message: print(message, file=sys.stderr)
+        )
+
+    # FaultInjector.install_sinks reaches the file sink through ``_sink``.
+    @property
+    def _sink(self) -> Any:
+        return getattr(self.inner, "_sink", self.inner)
+
+    @property
+    def path(self) -> Optional[str]:
+        return getattr(self.inner, "path", None)
+
+    def emit(self, alert: Alert) -> None:
+        attempt = 0
+        while True:
+            try:
+                self.inner.emit(alert)
+            except OSError as error:
+                if attempt >= self.policy.retries:
+                    if not self.policy.fail_open:
+                        raise
+                    if self.monitor is not None:
+                        self.monitor.sink_drop()
+                    self._warn(
+                        f"repro.alerts: dropped {alert.tag} at epoch "
+                        f"{alert.epoch} after {attempt + 1} attempts: {error}"
+                    )
+                    return
+                if self.monitor is not None:
+                    self.monitor.sink_retry()
+                delay = self.policy.backoff_delay(
+                    self.seed, "alerts", alert.epoch, attempt
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+            else:
+                if attempt and self.monitor is not None:
+                    self.monitor.recovery("alert_sink")
+                return
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+    def truncate_to(self, offset: int) -> None:
+        self.inner.truncate_to(offset)
+
+    def sink_state(self) -> Optional[Dict[str, Any]]:
+        return self.inner.sink_state()
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 # --------------------------------------------------------------------------- #

@@ -18,12 +18,17 @@ JSON manifest for everything else.  Layout::
     offset 6   u16    reserved (0)
     offset 8   u64    manifest offset (bytes, little-endian)
     offset 16  u64    manifest length (bytes)
+    offset 24  u32    CRC-32 of the manifest bytes (0 = unchecked legacy file)
     offset 64  state blobs, each aligned to 64 bytes
-    ...        JSON manifest (UTF-8)
+    ...        JSON manifest (UTF-8); ``payload_crc32`` covers bytes
+               ``[64, manifest offset)`` so blob corruption cannot restore
 
 Writes are atomic (temp file + fsync + ``os.replace``), so a crash during a
 checkpoint leaves the previous checkpoint intact.  Truncated or corrupt
-files fail fast with :class:`CheckpointError` before any state is touched.
+files fail fast with :class:`CheckpointError` before any state is touched:
+the header checks catch structural damage, and the two CRC-32 sums catch
+single-bit damage anywhere in the payload or manifest (a flipped bit in a
+JSON digit would otherwise parse as valid-but-wrong state).
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import copy
 import json
 import os
 import struct
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,6 +45,8 @@ import numpy as np
 CHECKPOINT_MAGIC = b"RTCK"
 CHECKPOINT_VERSION = 1
 _HEADER_STRUCT = struct.Struct("<4sHHQQ")
+_CRC_STRUCT = struct.Struct("<I")
+_CRC_OFFSET = _HEADER_STRUCT.size
 _DATA_START = 64
 _ALIGN = 64
 
@@ -97,15 +105,20 @@ def write_checkpoint(path: str, state: Dict[str, Any]) -> None:
     with open(tmp_path, "wb") as handle:
         handle.write(_HEADER_STRUCT.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, 0, 0, 0))
         handle.write(b"\0" * (_DATA_START - handle.tell()))
+        payload_crc = 0
         for name, array in blobs:
             padding = (-handle.tell()) % _ALIGN
             if padding:
                 handle.write(b"\0" * padding)
+                payload_crc = zlib.crc32(b"\0" * padding, payload_crc)
             blob_meta[name]["offset"] = handle.tell()
-            handle.write(np.ascontiguousarray(array).tobytes())
+            raw = np.ascontiguousarray(array).tobytes()
+            handle.write(raw)
+            payload_crc = zlib.crc32(raw, payload_crc)
         manifest = dict(state)
         manifest["version"] = CHECKPOINT_VERSION
         manifest["blobs"] = blob_meta
+        manifest["payload_crc32"] = payload_crc
         encoded = json.dumps(manifest, sort_keys=True).encode("utf-8")
         manifest_offset = handle.tell()
         handle.write(encoded)
@@ -115,6 +128,7 @@ def write_checkpoint(path: str, state: Dict[str, Any]) -> None:
                 CHECKPOINT_MAGIC, CHECKPOINT_VERSION, 0, manifest_offset, len(encoded)
             )
         )
+        handle.write(_CRC_STRUCT.pack(zlib.crc32(encoded)))
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, path)
@@ -145,13 +159,20 @@ def read_checkpoint(path: str) -> Dict[str, Any]:
         )
     if manifest_offset + manifest_length > len(data) or manifest_offset < _DATA_START:
         raise CheckpointError(f"checkpoint '{path}' has a corrupt manifest location")
+    encoded = data[manifest_offset : manifest_offset + manifest_length]
+    (manifest_crc,) = _CRC_STRUCT.unpack_from(data, _CRC_OFFSET)
+    if manifest_crc and zlib.crc32(encoded) != manifest_crc:
+        raise CheckpointError(f"checkpoint '{path}' manifest checksum mismatch")
     try:
-        manifest = json.loads(data[manifest_offset : manifest_offset + manifest_length])
+        manifest = json.loads(encoded)
     except ValueError as error:
         raise CheckpointError(f"checkpoint '{path}' manifest is corrupt: {error}") from None
 
     blob_meta = manifest.pop("blobs", {})
     manifest.pop("version", None)
+    payload_crc = manifest.pop("payload_crc32", None)
+    if payload_crc is not None and zlib.crc32(data[_DATA_START:manifest_offset]) != payload_crc:
+        raise CheckpointError(f"checkpoint '{path}' payload checksum mismatch")
     for name, meta in blob_meta.items():
         spec_path = tuple(name.split("/"))
         itemsize = np.dtype(meta["dtype"]).itemsize

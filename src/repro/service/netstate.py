@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..network.topology import FatTreeTopology, NodeId
 from ..stream.events import (
@@ -191,24 +192,51 @@ def compile_state_diffs(diffs: Iterable[StateDiff]) -> EventSchedule:
 # --------------------------------------------------------------------------- #
 # JSONL I/O
 # --------------------------------------------------------------------------- #
-def read_state_diffs(path: str) -> List[StateDiff]:
-    """Load a JSONL diff feed, failing fast with the offending line number."""
+def read_state_diffs(
+    path: str,
+    strict: bool = True,
+    on_reject: Optional[Callable[[int, str], None]] = None,
+    fault_hook: Optional[Callable[[int, str], str]] = None,
+) -> List[StateDiff]:
+    """Load a JSONL diff feed, failing fast with the offending line number.
+
+    ``strict=False`` is the long-feed mode: a malformed line is skipped with
+    a counted warning — ``on_reject(line_number, reason)`` per rejected line
+    (default: a stderr warning), mirrored into
+    ``repro_netstate_rejected_lines_total`` when the caller wires the
+    callback to a :class:`~repro.chaos.ChaosMonitor` — instead of aborting
+    the whole feed.  ``fault_hook(line_number, line) -> line`` is the chaos
+    injection point: it may garble lines before parsing.
+    """
     diffs: List[StateDiff] = []
+
+    def reject(line_number: int, reason: str) -> None:
+        if strict:
+            raise NetworkStateError(f"{path}:{line_number}: {reason}") from None
+        if on_reject is not None:
+            on_reject(line_number, reason)
+        else:
+            print(
+                f"repro.netstate: skipping {path}:{line_number}: {reason}",
+                file=sys.stderr,
+            )
+
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
+            if fault_hook is not None:
+                line = fault_hook(line_number, line)
             try:
                 payload = json.loads(line)
             except ValueError as error:
-                raise NetworkStateError(
-                    f"{path}:{line_number}: not valid JSON: {error}"
-                ) from None
+                reject(line_number, f"not valid JSON: {error}")
+                continue
             try:
                 diffs.append(StateDiff.from_dict(payload))
             except NetworkStateError as error:
-                raise NetworkStateError(f"{path}:{line_number}: {error}") from None
+                reject(line_number, str(error))
     return diffs
 
 

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import os
 import signal
+import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from ..chaos import FaultInjector, RetryPolicy, chaos_key, corrupt_checkpoint
 from ..obs.exposition import MetricsServer
 from ..stream.engine import StreamingEngine, StreamSummary
-from .alerts import AlertEngine
+from ..stream.sinks import ResilientSink
+from .alerts import AlertEngine, ResilientAlertSink
 from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 
 
@@ -44,6 +47,10 @@ class TelemetryService:
         handle_signals: bool = False,
         metrics_port: Optional[int] = None,
         metrics_host: str = "127.0.0.1",
+        chaos: Optional[FaultInjector] = None,
+        keep_checkpoints: int = 2,
+        retry: Optional[RetryPolicy] = None,
+        degraded_after: int = 3,
     ) -> None:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0 (0 disables periodic checkpoints)")
@@ -52,6 +59,10 @@ class TelemetryService:
                 "metrics_port requires an engine constructed with a "
                 "MetricsRegistry (StreamingEngine(metrics=...))"
             )
+        if keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+        if degraded_after < 1:
+            raise ValueError("degraded_after must be >= 1")
         self.engine = engine
         self.alert_engine = alert_engine
         self.checkpoint_path = checkpoint_path
@@ -59,6 +70,33 @@ class TelemetryService:
         self.handle_signals = handle_signals
         self.metrics_port = metrics_port
         self.metrics_host = metrics_host
+        self.chaos = chaos if chaos is not None else engine.chaos
+        self.monitor = engine.monitor
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.degraded_after = int(degraded_after)
+        #: Consecutive epochs with at least one failed sketch decode; part of
+        #: the checkpoint (``state["service"]``), so degraded-mode
+        #: annotations survive a resume bit-identically.
+        self._decode_fail_streak = 0
+        if self.chaos is not None and engine.chaos is None:
+            # A service-level injector still reaches the data plane and the
+            # record sinks through the engine's wiring points.
+            engine.chaos = self.chaos
+            simulator = engine.system.simulator
+            simulator.chaos = self.chaos
+            simulator.supervision = self.chaos.supervision
+            self.chaos.install_sinks(engine.sinks)
+        # Harden the durable outputs: every file-backed record/alert sink is
+        # wrapped in a retry/backoff shell (OSError only; checkpoint hooks
+        # delegate, so resume rewinds see straight through the wrapper).
+        engine.sinks = [self._wrap_sink(sink) for sink in engine.sinks]
+        if alert_engine is not None:
+            if self.chaos is not None:
+                self.chaos.install_sinks(alert_engine.sinks, target="alerts")
+            alert_engine.sinks = [
+                self._wrap_alert_sink(sink) for sink in alert_engine.sinks
+            ]
         #: The live exposition endpoint while :meth:`run` is active (tests
         #: read its bound port when ``metrics_port=0``).
         self.metrics_server: Optional[MetricsServer] = None
@@ -75,6 +113,22 @@ class TelemetryService:
         self._epochs_since_checkpoint = 0
         self._checkpointed_epoch: Optional[int] = None
 
+    def _wrap_sink(self, sink: Any) -> Any:
+        inner = getattr(sink, "_sink", sink)
+        if isinstance(sink, ResilientSink) or not hasattr(inner, "fault_hook"):
+            return sink
+        return ResilientSink(
+            sink, policy=self.retry, seed=self.engine.seed,
+            site="records", monitor=self.monitor,
+        )
+
+    def _wrap_alert_sink(self, sink: Any) -> Any:
+        if isinstance(sink, ResilientAlertSink) or not hasattr(sink, "_sink"):
+            return sink
+        return ResilientAlertSink(
+            sink, policy=self.retry, seed=self.engine.seed, monitor=self.monitor
+        )
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
@@ -90,31 +144,52 @@ class TelemetryService:
 
         ``max_epochs`` is absolute: a run resumed at epoch 4 with
         ``max_epochs=10`` processes epochs 4..9, exactly the suffix the
-        uninterrupted run would have.  ``resume=True`` restores from
-        ``checkpoint_path`` when a checkpoint exists there (a missing file
-        starts a fresh run, so ``serve --resume`` is idempotent).
+        uninterrupted run would have.  ``resume=True`` restores from the
+        checkpoint chain at ``checkpoint_path`` (no checkpoint at all starts
+        a fresh run, so ``serve --resume`` is idempotent).  A corrupt
+        checkpoint is quarantined to ``<name>.bad`` and the next link in the
+        chain restores instead; with the whole chain corrupt the service
+        restarts from epoch 0 — still bit-identical, because the file sinks
+        rewind to offset 0 with it.
         """
         start_epoch = 0
         loop_state: Optional[Dict[str, Any]] = None
-        if resume and self.checkpoint_path and os.path.exists(self.checkpoint_path):
-            state = read_checkpoint(self.checkpoint_path)
-            self._validate(state)
-            self.engine.restore_system(state["system"])
-            if self.alert_engine is not None and state.get("alerts"):
-                self.alert_engine.restore_state(state["alerts"])
-            self._rewind_sinks(state.get("sinks", []))
-            loop_state = state["engine"]
-            start_epoch = int(loop_state["next_epoch"])
-            self._checkpointed_epoch = start_epoch
+        if resume and self.checkpoint_path:
+            state = self._load_checkpoint_chain()
+            if state is not None:
+                self._validate(state)
+                self.engine.restore_system(state["system"])
+                if self.alert_engine is not None and state.get("alerts"):
+                    self.alert_engine.restore_state(state["alerts"])
+                self._rewind_sinks(state.get("sinks", []))
+                self._decode_fail_streak = int(
+                    (state.get("service") or {}).get("decode_fail_streak", 0)
+                )
+                loop_state = state["engine"]
+                start_epoch = int(loop_state["next_epoch"])
+                self._checkpointed_epoch = start_epoch
 
         previous_handlers: Dict[int, Any] = {}
         if self.handle_signals:
             for signum in (signal.SIGINT, signal.SIGTERM):
                 previous_handlers[signum] = signal.signal(signum, self._handle_signal)
         if self.metrics_port is not None:
-            self.metrics_server = MetricsServer(
-                self.engine.metrics, port=self.metrics_port, host=self.metrics_host
-            )
+            try:
+                if self.chaos is not None:
+                    self.chaos.raise_if("metrics_bind_error")
+                self.metrics_server = MetricsServer(
+                    self.engine.metrics, port=self.metrics_port, host=self.metrics_host
+                )
+            except OSError as error:
+                # Degraded mode: the measurement loop matters more than the
+                # exposition endpoint.  Metrics stay readable via snapshots.
+                self.metrics_server = None
+                self.monitor.recovery("metrics")
+                print(
+                    f"repro.service: metrics endpoint unavailable "
+                    f"({error}); continuing without exposition",
+                    file=sys.stderr,
+                )
         try:
             summary = self.engine.run(
                 max_epochs=max_epochs,
@@ -154,6 +229,20 @@ class TelemetryService:
     # per-epoch hooks
     # ------------------------------------------------------------------ #
     def _record_hook(self, epoch: int, record: Dict[str, Any], result) -> None:
+        # Degraded mode: persistent decode failure annotates the stream
+        # instead of crashing the process — attention escalates through the
+        # record (and the decode_failure_streak alert rule), per the paper's
+        # control loop.  The annotation is part of the reproducible stream:
+        # the streak is derived from result fields only and is checkpointed.
+        streak = self._decode_fail_streak
+        streak = streak + 1 if record.get("decode_failures", 0) > 0 else 0
+        self._decode_fail_streak = streak
+        if streak >= self.degraded_after:
+            # Annotated only while degraded, so a healthy service stream
+            # stays field-identical to a bare engine run of the same spec.
+            record["degraded"] = True
+            record["degraded_streak"] = streak
+            self.monitor.degraded_epoch()
         if self.alert_engine is None:
             return
         alerts = self.alert_engine.observe(record)
@@ -179,6 +268,59 @@ class TelemetryService:
     # ------------------------------------------------------------------ #
     # checkpointing
     # ------------------------------------------------------------------ #
+    def _chain_paths(self) -> List[str]:
+        """The checkpoint chain, newest first: ``path``, ``path.1``, ..."""
+        assert self.checkpoint_path
+        return [self.checkpoint_path] + [
+            f"{self.checkpoint_path}.{index}"
+            for index in range(1, self.keep_checkpoints)
+        ]
+
+    def _rotate_checkpoints(self) -> None:
+        """Shift the chain one slot before a new primary is written."""
+        chain = self._chain_paths()
+        for index in range(len(chain) - 1, 0, -1):
+            if os.path.exists(chain[index - 1]):
+                os.replace(chain[index - 1], chain[index])
+
+    def _load_checkpoint_chain(self) -> Optional[Dict[str, Any]]:
+        """Restore state from the newest readable checkpoint in the chain.
+
+        Corrupt links (truncation, bit-flips, bad manifests — anything
+        ``read_checkpoint`` rejects) are quarantined to ``<name>.bad`` and
+        the next link is tried; each successful fallback (or a forced fresh
+        start) counts one ``repro_recoveries_total{site="checkpoint"}``.
+        Spec-mismatch errors are *not* handled here: they mean the operator
+        pointed the service at a different run's checkpoint, and
+        :meth:`_validate` raises on the loaded state.
+        """
+        quarantined = 0
+        state: Optional[Dict[str, Any]] = None
+        for candidate in self._chain_paths():
+            if not os.path.exists(candidate):
+                continue
+            try:
+                state = read_checkpoint(candidate)
+                break
+            except CheckpointError as error:
+                quarantine = candidate + ".bad"
+                os.replace(candidate, quarantine)
+                quarantined += 1
+                print(
+                    f"repro.service: checkpoint '{candidate}' is corrupt "
+                    f"({error}); quarantined to '{quarantine}'",
+                    file=sys.stderr,
+                )
+        if quarantined:
+            self.monitor.recovery("checkpoint")
+            if state is None:
+                print(
+                    "repro.service: no readable checkpoint left in the "
+                    "chain; restarting from epoch 0",
+                    file=sys.stderr,
+                )
+        return state
+
     def _spec_meta(self) -> Dict[str, Any]:
         engine = self.engine
         try:
@@ -262,10 +404,22 @@ class TelemetryService:
                 else None
             ),
             "sinks": self._sink_states(),
+            "service": {"decode_fail_streak": self._decode_fail_streak},
         }
+        boundary = int(loop["next_epoch"])
+        if self.keep_checkpoints > 1:
+            self._rotate_checkpoints()
         write_checkpoint(self.checkpoint_path, state)
+        if self.chaos is not None:
+            spec = self.chaos.checkpoint_fault(boundary)
+            if spec is not None:
+                corrupt_checkpoint(
+                    self.checkpoint_path,
+                    mode=str(spec.params.get("mode", "bitflip")),
+                    key=chaos_key(self.chaos.seed, "checkpoint", boundary),
+                )
         self._epochs_since_checkpoint = 0
-        self._checkpointed_epoch = int(loop["next_epoch"])
+        self._checkpointed_epoch = boundary
 
     def _final_checkpoint(self) -> None:
         """Checkpoint the final boundary (graceful stop or source end)."""

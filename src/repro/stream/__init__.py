@@ -19,7 +19,15 @@ from .events import (
     NetworkConditions,
     StreamEvent,
 )
-from .sinks import ConsoleSink, CsvSink, EpochSink, JsonlSink, MemorySink, MultiSink
+from .sinks import (
+    ConsoleSink,
+    CsvSink,
+    EpochSink,
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    ResilientSink,
+)
 from .sources import (
     LimitedSource,
     MergeSource,
@@ -48,6 +56,7 @@ __all__ = [
     "MemorySink",
     "ConsoleSink",
     "MultiSink",
+    "ResilientSink",
     "TraceSource",
     "SyntheticSource",
     "Phase",

@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Sequence, Union
 
+from ..chaos import ChaosMonitor, FaultInjector
 from ..core.runner import ChameleMon, EpochResult
 from ..dataplane.config import SwitchResources
 from ..obs.identity import TIMING_FIELDS, comparable  # noqa: F401 - re-exported
@@ -129,6 +130,7 @@ class StreamingEngine:
         tracer: Optional[StageTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         span_sink: Optional[Any] = None,
+        chaos: Optional[FaultInjector] = None,
     ) -> None:
         if rolling_window < 1:
             raise ValueError("rolling_window must be >= 1")
@@ -165,6 +167,21 @@ class StreamingEngine:
         self.metrics = metrics
         self._instruments = EpochMetrics(metrics) if metrics is not None else None
         self.span_sink = span_sink
+        # Chaos/supervision plumbing: the monitor always exists (recovery
+        # accounting is wanted even without injected faults); the injector is
+        # optional.  Both are threaded down to the simulator so the shard
+        # pool inherits supervision, and the monitor is mirrored into the
+        # repro_* counters when a metrics registry is attached.
+        self.chaos = chaos
+        self.monitor = chaos.monitor if chaos is not None else ChaosMonitor()
+        if metrics is not None:
+            self.monitor.bind(metrics)
+        simulator = self.system.simulator
+        simulator.chaos = chaos
+        simulator.monitor = self.monitor
+        simulator.supervision = chaos.supervision if chaos is not None else None
+        if chaos is not None:
+            chaos.install_sinks(self.sinks)
         self._resident = _ResidentTracker()
         self._closed = False
         self._loop_live: Optional[Dict[str, Any]] = None

@@ -14,7 +14,8 @@ import csv
 import json
 import os
 import sys
-from typing import Any, Dict, IO, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence
 
 
 class EpochSink:
@@ -45,6 +46,11 @@ class _FileSink(EpochSink):
     """
 
     kind = "file"
+
+    #: Chaos injection point: when set, called with each record *before* the
+    #: write, so an injected ``OSError`` leaves the file untouched and a
+    #: retried write lands the record exactly once.
+    fault_hook: Optional[Callable[[Dict[str, Any]], None]] = None
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -125,6 +131,8 @@ class JsonlSink(_FileSink):
     kind = "jsonl"
 
     def write(self, record: Dict[str, Any]) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(record)
         handle = self._ensure_open()
         handle.write(json.dumps(record) + "\n")
         handle.flush()
@@ -142,6 +150,8 @@ class CsvSink(_FileSink):
         self._write_header = True
 
     def write(self, record: Dict[str, Any]) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(record)
         handle = self._ensure_open()
         if self._writer is None:
             self._fieldnames = self._fieldnames or list(record)
@@ -195,6 +205,97 @@ class ConsoleSink(EpochSink):
         )
         self._handle.write(line + "\n")
         self._handle.flush()
+
+
+class ResilientSink(EpochSink):
+    """Retry/backoff wrapper hardening a sink against transient I/O errors.
+
+    Only ``OSError`` is retried — anything else is a bug in the sink and
+    propagates unchanged.  A write is attempted ``1 + policy.retries`` times
+    with sleeps jittered from the deterministic chaos substream
+    (:meth:`repro.chaos.RetryPolicy.backoff_delay` keyed on the record's
+    epoch); with ``fail_open=True`` an exhausted write is dropped with a
+    counted warning instead of killing the service.  All checkpoint hooks
+    (sync/tell/truncate_to/sink_state) delegate to the wrapped sink, so a
+    resilient sink is checkpoint-transparent.
+    """
+
+    def __init__(
+        self,
+        inner: EpochSink,
+        policy: Optional[Any] = None,
+        seed: int = 0,
+        site: str = "records",
+        monitor: Optional[Any] = None,
+        warn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        from ..chaos import RetryPolicy
+
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.seed = seed
+        self.site = site
+        self.monitor = monitor
+        self._warn = warn if warn is not None else (
+            lambda message: print(message, file=sys.stderr)
+        )
+
+    # install_sinks() reaches through wrappers via ``_sink``.
+    @property
+    def _sink(self) -> EpochSink:
+        return self.inner
+
+    @property
+    def kind(self) -> str:
+        return getattr(self.inner, "kind", "file")
+
+    @property
+    def path(self) -> Optional[str]:
+        return getattr(self.inner, "path", None)
+
+    def write(self, record: Dict[str, Any]) -> None:
+        epoch = int(record.get("epoch", 0) or 0)
+        attempt = 0
+        while True:
+            try:
+                self.inner.write(record)
+            except OSError as error:
+                if attempt >= self.policy.retries:
+                    if not self.policy.fail_open:
+                        raise
+                    if self.monitor is not None:
+                        self.monitor.sink_drop()
+                    self._warn(
+                        f"repro.sink: dropped epoch {epoch} record for "
+                        f"{self.site} sink after {attempt + 1} attempts: {error}"
+                    )
+                    return
+                if self.monitor is not None:
+                    self.monitor.sink_retry()
+                delay = self.policy.backoff_delay(self.seed, self.site, epoch, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+            else:
+                if attempt and self.monitor is not None:
+                    self.monitor.recovery("sink")
+                return
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def sink_state(self) -> Optional[Dict[str, Any]]:
+        return self.inner.sink_state()
+
+    def tell(self) -> Optional[int]:
+        tell = getattr(self.inner, "tell", None)
+        return tell() if tell is not None else None
+
+    def truncate_to(self, offset: int, *args: Any, **kwargs: Any) -> None:
+        self.inner.truncate_to(offset, *args, **kwargs)
 
 
 class MultiSink(EpochSink):

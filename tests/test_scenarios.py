@@ -23,6 +23,7 @@ EXPECTED_SCENARIOS = {
     "workloads", "overheads", "ablation_classifier", "ablation_fermat",
     "backend_speedup", "demo",
     "stream_timeline", "stream_failover", "stream_multitenant",
+    "serve_chaos",
 }
 
 
